@@ -1,0 +1,58 @@
+// Command mlperf-report regenerates the paper's reported artifacts from
+// the suite definition and the cluster simulation: Table 1 (the benchmark
+// suite), Figure 4 (16-chip v0.5→v0.6 speedups), and Figure 5 (scale
+// increase of the fastest overall entries).
+//
+// Usage:
+//
+//	mlperf-report -table1
+//	mlperf-report -figure4 -figure5
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print the Table 1 suite definition")
+		fig4   = flag.Bool("figure4", false, "print the Figure 4 series (16-chip speedups)")
+		fig5   = flag.Bool("figure5", false, "print the Figure 5 series (scale increases)")
+	)
+	flag.Parse()
+	if !*table1 && !*fig4 && !*fig5 {
+		*table1, *fig4, *fig5 = true, true, true
+	}
+
+	if *table1 {
+		fmt.Println("Table 1: MLPerf Training v0.5 benchmarks")
+		fmt.Printf("%-46s %-46s %-30s %s\n", "Benchmark", "Dataset", "Model", "Quality Threshold")
+		for _, b := range core.Suite(core.V05) {
+			fmt.Printf("%-46s %-46s %-30s %.4g %s\n", b.Task, b.Dataset, b.Model, b.Target, b.QualityMetric)
+		}
+		fmt.Println()
+	}
+	if *fig4 {
+		rows := cluster.Figure4()
+		fmt.Println("Figure 4: speedup of the fastest 16-chip entry, v0.5 -> v0.6 (higher targets applied)")
+		for _, r := range rows {
+			fmt.Printf("  %-32s %8s -> %8s   %.2fx\n", r.Benchmark,
+				cluster.FormatDuration(r.V05Time), cluster.FormatDuration(r.V06Time), r.Speedup)
+		}
+		fmt.Printf("  geometric mean speedup: %.2fx (paper: average 1.3x)\n\n", cluster.GeoMeanSpeedup(rows))
+	}
+	if *fig5 {
+		rows := cluster.Figure5()
+		fmt.Println("Figure 5: chips in the fastest-overall system, v0.5 -> v0.6")
+		for _, r := range rows {
+			fmt.Printf("  %-32s %5d -> %5d chips   %.1fx   (%s -> %s)\n", r.Benchmark,
+				r.V05Chips, r.V06Chips, r.Increase,
+				cluster.FormatDuration(r.V05Time), cluster.FormatDuration(r.V06Time))
+		}
+		fmt.Printf("  geometric mean increase: %.1fx (paper: average 5.5x)\n", cluster.GeoMeanIncrease(rows))
+	}
+}

@@ -1,0 +1,79 @@
+// Command mlperf runs MLPerf Training benchmarks end to end: it trains the
+// selected benchmark(s) to their quality targets under the timing rules and
+// reports time-to-train, emitting MLLOG structured logs.
+//
+// Usage:
+//
+//	mlperf -list
+//	mlperf -benchmark recommendation -runs 3 -seed 1
+//	mlperf -benchmark all -version v0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "recommendation", "benchmark ID or 'all'")
+		version   = flag.String("version", "v0.5", "benchmark round: v0.5 or v0.6")
+		runs      = flag.Int("runs", 1, "number of timed runs (the round requires 5/10 for official scores)")
+		seed      = flag.Uint64("seed", 1, "base random seed; run i uses seed+i")
+		maxEpochs = flag.Int("max-epochs", 0, "override the benchmark's epoch cap (0 = default)")
+		logs      = flag.Bool("mllog", false, "stream MLLOG lines to stdout")
+		list      = flag.Bool("list", false, "list the suite (Table 1) and exit")
+	)
+	flag.Parse()
+
+	v := core.Version(*version)
+	if v != core.V05 && v != core.V06 {
+		fmt.Fprintf(os.Stderr, "unknown version %q\n", *version)
+		os.Exit(2)
+	}
+
+	if *list {
+		fmt.Printf("MLPerf Training %s benchmark suite (Table 1)\n\n", v)
+		fmt.Printf("%-32s %-44s %-28s %-10s %s\n", "Benchmark", "Dataset", "Model", "Runs", "Quality Threshold")
+		for _, b := range core.Suite(v) {
+			fmt.Printf("%-32s %-44s %-28s %-10d %.4g %s\n", b.ID, b.Dataset, b.Model, b.RequiredRuns, b.Target, b.QualityMetric)
+		}
+		return
+	}
+
+	var ids []string
+	if *benchmark == "all" {
+		ids = core.BenchmarkIDs(v)
+	} else {
+		ids = []string{*benchmark}
+	}
+
+	for _, id := range ids {
+		b, err := core.FindBenchmark(v, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rs := core.ResultSet{Benchmark: id}
+		for i := 0; i < *runs; i++ {
+			cfg := core.RunConfig{Seed: *seed + uint64(i), MaxEpochs: *maxEpochs}
+			if *logs {
+				cfg.LogWriter = os.Stdout
+			}
+			r := core.Run(b, cfg)
+			fmt.Println(r.String())
+			if err := rs.AddRun(r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if times := rs.ConvergedTimes(); len(times) >= 3 {
+			fmt.Printf("%s: olympic mean over %d converged runs: %s\n",
+				id, len(times), core.OlympicMean(times).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package repro is a from-scratch Go reproduction of "MLPerf Training
+// Benchmark" (Mattson et al., MLSys 2020): the benchmark suite of Table 1,
+// the time-to-train measurement methodology with its timing rules, the
+// submission/review process, and every evaluation artifact in the paper.
+//
+// The package tree:
+//
+//	internal/core       — suite, runner, timing rules, aggregation (the paper's contribution)
+//	internal/tensor     — dense tensors + deterministic RNG
+//	internal/autograd   — tape-based reverse-mode autodiff
+//	internal/nn         — layer library (conv, BN, LSTM, attention, ...)
+//	internal/opt        — SGD (both §2.2.4 momentum forms), Adam, LARS, schedules
+//	internal/precision  — simulated numeric formats (Figure 1)
+//	internal/data       — input pipeline + §3.2.1 stage rules
+//	internal/datasets   — synthetic stand-ins for ImageNet/COCO/WMT/MovieLens
+//	internal/metrics    — top-1, mAP, BLEU, HR@10, move match
+//	internal/models     — the 7 benchmark models
+//	internal/goboard    — Go engine; internal/mcts — self-play search
+//	internal/mlog       — MLLOG structured logging
+//	internal/cluster    — simulated scale-out (Figures 4–5)
+//	internal/submission — §4 divisions, categories, review, reporting
+//
+// The benchmarks in bench_test.go regenerate every table and figure; see
+// DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,39 @@
+// Quickstart: train one MLPerf benchmark (NCF recommendation) to its
+// quality target under the official timing rules, then print the
+// time-to-train result and an excerpt of the MLLOG structured log.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	bench, err := core.FindBenchmark(core.V05, "recommendation")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MLPerf Training quickstart: %s\n", bench.Task)
+	fmt.Printf("  dataset: %s\n  model:   %s\n  target:  %.3f %s\n\n",
+		bench.Dataset, bench.Model, bench.Target, bench.QualityMetric)
+
+	result := core.Run(bench, core.RunConfig{Seed: 7})
+	fmt.Println(result.String())
+	fmt.Printf("quality curve: ")
+	for _, q := range result.QualityCurve {
+		fmt.Printf("%.3f ", q)
+	}
+	fmt.Println()
+
+	fmt.Println("\nMLLOG excerpt:")
+	lines := strings.Split(strings.TrimSpace(result.Log.String()), "\n")
+	for i, line := range lines {
+		if i < 4 || i >= len(lines)-3 {
+			fmt.Println(" ", line)
+		} else if i == 4 {
+			fmt.Printf("  ... (%d more events) ...\n", len(lines)-7)
+		}
+	}
+}

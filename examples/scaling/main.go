@@ -1,0 +1,44 @@
+// Scaling study (Figures 4 and 5): simulate the v0.5 and v0.6 submission
+// rounds on fixed hardware. Round-over-round software-stack efficiency,
+// raised quality targets, and large-batch rule changes (LARS) drive both
+// the 16-chip speedups of Figure 4 and the scale-out movement of Figure 5.
+//
+// Usage:
+//
+//	go run ./examples/scaling            # both figures
+//	go run ./examples/scaling -figure 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "4, 5, or 0 for both")
+	flag.Parse()
+
+	if *figure == 0 || *figure == 4 {
+		rows := cluster.Figure4()
+		fmt.Println("Figure 4: speedup of the fastest 16-chip entry from v0.5 to v0.6")
+		fmt.Println("(quality targets raised in v0.6, as in the paper)")
+		for _, r := range rows {
+			bars := int(r.Speedup * 20)
+			fmt.Printf("  %-32s %.2fx %s\n", r.Benchmark, r.Speedup, strings.Repeat("█", bars))
+		}
+		fmt.Printf("  geometric mean: %.2fx (paper reports an average of 1.3x)\n\n", cluster.GeoMeanSpeedup(rows))
+	}
+	if *figure == 0 || *figure == 5 {
+		rows := cluster.Figure5()
+		fmt.Println("Figure 5: chips in the system with the fastest overall score")
+		for _, r := range rows {
+			fmt.Printf("  %-32s v0.5: %4d chips (%s)   v0.6: %4d chips (%s)   %.1fx\n",
+				r.Benchmark, r.V05Chips, cluster.FormatDuration(r.V05Time),
+				r.V06Chips, cluster.FormatDuration(r.V06Time), r.Increase)
+		}
+		fmt.Printf("  geometric mean increase: %.1fx (paper reports an average of 5.5x)\n", cluster.GeoMeanIncrease(rows))
+	}
+}

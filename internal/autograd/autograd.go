@@ -1,0 +1,126 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over tensor values. It provides the ~30 differentiable
+// operations the MLPerf reference models are composed of, playing the role
+// of PyTorch/TensorFlow autograd in the paper's reference implementations.
+//
+// Usage pattern (one tape per training step):
+//
+//	tape := autograd.NewTape()
+//	x := autograd.Const(batch)
+//	w := tape.Watch(param)           // leaf: grads accumulate into param.Grad
+//	loss := autograd.SoftmaxCrossEntropy(autograd.MatMul(x, w), labels)
+//	tape.Backward(loss)
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter: a value tensor plus a persistent gradient
+// accumulator that optimizers consume. Parameters outlive any single tape.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter with a zeroed gradient buffer.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Tape records the backward closures of each differentiable op executed in
+// a forward pass and replays them in reverse on Backward.
+type Tape struct {
+	steps []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// record appends a backward closure.
+func (t *Tape) record(f func()) { t.steps = append(t.steps, f) }
+
+// Len returns the number of recorded ops (useful in tests).
+func (t *Tape) Len() int { return len(t.steps) }
+
+// Backward seeds the scalar loss gradient with 1 and runs all recorded
+// backward closures in reverse order. It panics if loss is not scalar.
+func (t *Tape) Backward(loss *Var) {
+	if loss.Value.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", loss.Value.Shape))
+	}
+	if loss.Grad != nil {
+		loss.Grad.Data[0] = 1
+	}
+	for i := len(t.steps) - 1; i >= 0; i-- {
+		t.steps[i]()
+	}
+}
+
+// Var is a node in the computation graph: a value, an optional gradient
+// buffer, and the tape it was recorded on. Vars with a nil tape are
+// constants and contribute no backward work.
+type Var struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	tape  *Tape
+}
+
+// NeedsGrad reports whether this Var participates in differentiation.
+func (v *Var) NeedsGrad() bool { return v.tape != nil }
+
+// Watch registers a parameter as a differentiable leaf on the tape. The
+// returned Var shares the parameter's gradient buffer, so gradients
+// accumulate across Backward calls until Param.ZeroGrad.
+func (t *Tape) Watch(p *Param) *Var {
+	return &Var{Value: p.Value, Grad: p.Grad, tape: t}
+}
+
+// Leaf creates a differentiable leaf with a private gradient buffer.
+// It is mainly used by tests and by ops that need an internal grad sink.
+func (t *Tape) Leaf(value *tensor.Tensor) *Var {
+	return &Var{Value: value, Grad: tensor.New(value.Shape...), tape: t}
+}
+
+// Const wraps a tensor as a non-differentiable input (e.g. a data batch).
+func Const(value *tensor.Tensor) *Var { return &Var{Value: value} }
+
+// ConstScalar wraps a scalar constant.
+func ConstScalar(v float64) *Var {
+	return Const(tensor.FromSlice([]float64{v}, 1))
+}
+
+// Scalar returns the single element of a size-1 Var.
+func (v *Var) Scalar() float64 {
+	if v.Value.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Scalar on shape %v", v.Value.Shape))
+	}
+	return v.Value.Data[0]
+}
+
+// tapeOf picks the tape for an op's output: the first operand that is
+// differentiable. Ops with only constant inputs record nothing.
+func tapeOf(vs ...*Var) *Tape {
+	for _, v := range vs {
+		if v != nil && v.tape != nil {
+			return v.tape
+		}
+	}
+	return nil
+}
+
+// newResult allocates the output Var of an op. When tp is nil the output is
+// a constant and no gradient buffer is allocated.
+func newResult(tp *Tape, value *tensor.Tensor) *Var {
+	out := &Var{Value: value, tape: tp}
+	if tp != nil {
+		out.Grad = tensor.New(value.Shape...)
+	}
+	return out
+}

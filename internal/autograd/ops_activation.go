@@ -1,0 +1,160 @@
+package autograd
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Var) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Apply(a.Value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}))
+	if tp != nil {
+		tp.record(func() {
+			for i := range a.Grad.Data {
+				if a.Value.Data[i] > 0 {
+					a.Grad.Data[i] += out.Grad.Data[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-a)) elementwise.
+func Sigmoid(a *Var) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Apply(a.Value, func(v float64) float64 {
+		return 1 / (1 + math.Exp(-v))
+	}))
+	if tp != nil {
+		tp.record(func() {
+			for i := range a.Grad.Data {
+				y := out.Value.Data[i]
+				a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
+			}
+		})
+	}
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Var) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Apply(a.Value, math.Tanh))
+	if tp != nil {
+		tp.record(func() {
+			for i := range a.Grad.Data {
+				y := out.Value.Data[i]
+				a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+			}
+		})
+	}
+	return out
+}
+
+// Exp returns exp(a) elementwise.
+func Exp(a *Var) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Apply(a.Value, math.Exp))
+	if tp != nil {
+		tp.record(func() {
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * out.Value.Data[i]
+			}
+		})
+	}
+	return out
+}
+
+// Log returns ln(a) elementwise; inputs must be positive.
+func Log(a *Var) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Apply(a.Value, math.Log))
+	if tp != nil {
+		tp.record(func() {
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] / a.Value.Data[i]
+			}
+		})
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of a 2-D var.
+// Gradient: dx_i = y_i * (dy_i - Σ_j dy_j y_j), per row.
+func SoftmaxRows(a *Var) *Var {
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	val := tensor.New(n, m)
+	for i := 0; i < n; i++ {
+		row := a.Value.Data[i*m : (i+1)*m]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			val.Data[i*m+j] = e
+			s += e
+		}
+		for j := 0; j < m; j++ {
+			val.Data[i*m+j] /= s
+		}
+	}
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			for i := 0; i < n; i++ {
+				dot := 0.0
+				for j := 0; j < m; j++ {
+					dot += out.Grad.Data[i*m+j] * out.Value.Data[i*m+j]
+				}
+				for j := 0; j < m; j++ {
+					y := out.Value.Data[i*m+j]
+					a.Grad.Data[i*m+j] += y * (out.Grad.Data[i*m+j] - dot)
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Dropout zeroes each element with probability p during training and scales
+// survivors by 1/(1-p) (inverted dropout). In eval mode it is the identity.
+// The mask is drawn from rng, keeping runs reproducible per seed.
+func Dropout(a *Var, p float64, train bool, rng *tensor.RNG) *Var {
+	if !train || p <= 0 {
+		return a
+	}
+	keep := 1 - p
+	mask := make([]float64, a.Value.Size())
+	for i := range mask {
+		if rng.Float64() < keep {
+			mask[i] = 1 / keep
+		}
+	}
+	val := tensor.New(a.Value.Shape...)
+	for i := range val.Data {
+		val.Data[i] = a.Value.Data[i] * mask[i]
+	}
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * mask[i]
+			}
+		})
+	}
+	return out
+}

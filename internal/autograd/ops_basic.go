@@ -1,0 +1,324 @@
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Add returns a + b (elementwise, equal shapes).
+func Add(a, b *Var) *Var {
+	tp := tapeOf(a, b)
+	out := newResult(tp, tensor.Add(a.Value, b.Value))
+	if tp != nil {
+		tp.record(func() {
+			if a.tape != nil {
+				a.Grad.AddInPlace(out.Grad)
+			}
+			if b.tape != nil {
+				b.Grad.AddInPlace(out.Grad)
+			}
+		})
+	}
+	return out
+}
+
+// Sub returns a - b (elementwise, equal shapes).
+func Sub(a, b *Var) *Var {
+	tp := tapeOf(a, b)
+	out := newResult(tp, tensor.Sub(a.Value, b.Value))
+	if tp != nil {
+		tp.record(func() {
+			if a.tape != nil {
+				a.Grad.AddInPlace(out.Grad)
+			}
+			if b.tape != nil {
+				b.Grad.AxpyInPlace(-1, out.Grad)
+			}
+		})
+	}
+	return out
+}
+
+// Mul returns the Hadamard product a * b.
+func Mul(a, b *Var) *Var {
+	tp := tapeOf(a, b)
+	out := newResult(tp, tensor.Mul(a.Value, b.Value))
+	if tp != nil {
+		tp.record(func() {
+			if a.tape != nil {
+				for i := range a.Grad.Data {
+					a.Grad.Data[i] += out.Grad.Data[i] * b.Value.Data[i]
+				}
+			}
+			if b.tape != nil {
+				for i := range b.Grad.Data {
+					b.Grad.Data[i] += out.Grad.Data[i] * a.Value.Data[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Scale returns s * a for a compile-time constant s.
+func Scale(a *Var, s float64) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Scale(a.Value, s))
+	if tp != nil {
+		tp.record(func() { a.Grad.AxpyInPlace(s, out.Grad) })
+	}
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Var) *Var { return Scale(a, -1) }
+
+// AddScalar returns a + s elementwise.
+func AddScalar(a *Var, s float64) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Apply(a.Value, func(v float64) float64 { return v + s }))
+	if tp != nil {
+		tp.record(func() { a.Grad.AddInPlace(out.Grad) })
+	}
+	return out
+}
+
+// AddRowVec broadcasts a row vector b [m] over every row of a [n,m]
+// (the standard bias add of a linear layer).
+func AddRowVec(a, b *Var) *Var {
+	if a.Value.Rank() != 2 || b.Value.Rank() != 1 || a.Value.Shape[1] != b.Value.Shape[0] {
+		panic(fmt.Sprintf("autograd: AddRowVec shapes %v + %v", a.Value.Shape, b.Value.Shape))
+	}
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	val := tensor.New(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			val.Data[i*m+j] = a.Value.Data[i*m+j] + b.Value.Data[j]
+		}
+	}
+	tp := tapeOf(a, b)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			if a.tape != nil {
+				a.Grad.AddInPlace(out.Grad)
+			}
+			if b.tape != nil {
+				for i := 0; i < n; i++ {
+					for j := 0; j < m; j++ {
+						b.Grad.Data[j] += out.Grad.Data[i*m+j]
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// MulColVec broadcasts a column vector a [n,1] across the columns of b
+// [n,m]: out[i,j] = a[i,0] * b[i,j]. Used for attention-weighted sums.
+func MulColVec(a, b *Var) *Var {
+	if a.Value.Rank() != 2 || a.Value.Shape[1] != 1 || b.Value.Rank() != 2 || a.Value.Shape[0] != b.Value.Shape[0] {
+		panic(fmt.Sprintf("autograd: MulColVec shapes %v * %v", a.Value.Shape, b.Value.Shape))
+	}
+	n, m := b.Value.Shape[0], b.Value.Shape[1]
+	val := tensor.New(n, m)
+	for i := 0; i < n; i++ {
+		av := a.Value.Data[i]
+		for j := 0; j < m; j++ {
+			val.Data[i*m+j] = av * b.Value.Data[i*m+j]
+		}
+	}
+	tp := tapeOf(a, b)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			if a.tape != nil {
+				for i := 0; i < n; i++ {
+					s := 0.0
+					for j := 0; j < m; j++ {
+						s += out.Grad.Data[i*m+j] * b.Value.Data[i*m+j]
+					}
+					a.Grad.Data[i] += s
+				}
+			}
+			if b.tape != nil {
+				for i := 0; i < n; i++ {
+					av := a.Value.Data[i]
+					for j := 0; j < m; j++ {
+						b.Grad.Data[i*m+j] += out.Grad.Data[i*m+j] * av
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Reshape returns a with a new shape of the same size. Value and grad both
+// flow through unchanged.
+func Reshape(a *Var, shape ...int) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, a.Value.Reshape(shape...))
+	if tp != nil {
+		// out shares a's data but has a fresh grad buffer; fold it back.
+		tp.record(func() {
+			a.Grad.AddInPlace(out.Grad.Reshape(a.Value.Shape...))
+		})
+	}
+	return out
+}
+
+// ConcatCols concatenates 2-D vars along columns: [n,m1],[n,m2],... → [n,Σm].
+func ConcatCols(vs ...*Var) *Var {
+	if len(vs) == 0 {
+		panic("autograd: ConcatCols of nothing")
+	}
+	n := vs[0].Value.Shape[0]
+	total := 0
+	for _, v := range vs {
+		if v.Value.Rank() != 2 || v.Value.Shape[0] != n {
+			panic("autograd: ConcatCols shape mismatch")
+		}
+		total += v.Value.Shape[1]
+	}
+	val := tensor.New(n, total)
+	off := 0
+	for _, v := range vs {
+		m := v.Value.Shape[1]
+		for i := 0; i < n; i++ {
+			copy(val.Data[i*total+off:i*total+off+m], v.Value.Data[i*m:(i+1)*m])
+		}
+		off += m
+	}
+	tp := tapeOf(vs...)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			off := 0
+			for _, v := range vs {
+				m := v.Value.Shape[1]
+				if v.tape != nil {
+					for i := 0; i < n; i++ {
+						for j := 0; j < m; j++ {
+							v.Grad.Data[i*m+j] += out.Grad.Data[i*total+off+j]
+						}
+					}
+				}
+				off += m
+			}
+		})
+	}
+	return out
+}
+
+// ConcatRows concatenates 2-D vars along rows: [n1,m],[n2,m],... → [Σn,m].
+func ConcatRows(vs ...*Var) *Var {
+	if len(vs) == 0 {
+		panic("autograd: ConcatRows of nothing")
+	}
+	m := vs[0].Value.Shape[1]
+	total := 0
+	for _, v := range vs {
+		if v.Value.Rank() != 2 || v.Value.Shape[1] != m {
+			panic("autograd: ConcatRows shape mismatch")
+		}
+		total += v.Value.Shape[0]
+	}
+	val := tensor.New(total, m)
+	off := 0
+	for _, v := range vs {
+		copy(val.Data[off*m:], v.Value.Data)
+		off += v.Value.Shape[0]
+	}
+	tp := tapeOf(vs...)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			off := 0
+			for _, v := range vs {
+				n := v.Value.Shape[0]
+				if v.tape != nil {
+					for i := 0; i < n*m; i++ {
+						v.Grad.Data[i] += out.Grad.Data[off*m+i]
+					}
+				}
+				off += n
+			}
+		})
+	}
+	return out
+}
+
+// SliceCols returns columns [lo,hi) of a 2-D var.
+func SliceCols(a *Var, lo, hi int) *Var {
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	if lo < 0 || hi > m || lo >= hi {
+		panic(fmt.Sprintf("autograd: SliceCols [%d,%d) of width %d", lo, hi, m))
+	}
+	w := hi - lo
+	val := tensor.New(n, w)
+	for i := 0; i < n; i++ {
+		copy(val.Data[i*w:(i+1)*w], a.Value.Data[i*m+lo:i*m+hi])
+	}
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			for i := 0; i < n; i++ {
+				for j := 0; j < w; j++ {
+					a.Grad.Data[i*m+lo+j] += out.Grad.Data[i*w+j]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// SliceRows returns rows [lo,hi) of a 2-D var.
+func SliceRows(a *Var, lo, hi int) *Var {
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	if lo < 0 || hi > n || lo >= hi {
+		panic(fmt.Sprintf("autograd: SliceRows [%d,%d) of height %d", lo, hi, n))
+	}
+	h := hi - lo
+	val := tensor.New(h, m)
+	copy(val.Data, a.Value.Data[lo*m:hi*m])
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			for i := 0; i < h*m; i++ {
+				a.Grad.Data[lo*m+i] += out.Grad.Data[i]
+			}
+		})
+	}
+	return out
+}
+
+// GatherRows selects rows of a 2-D var by index (with repetition allowed).
+// Backward scatter-adds, so it doubles as the embedding-lookup primitive.
+func GatherRows(a *Var, idx []int) *Var {
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	val := tensor.New(len(idx), m)
+	for i, id := range idx {
+		if id < 0 || id >= n {
+			panic(fmt.Sprintf("autograd: GatherRows index %d out of %d", id, n))
+		}
+		copy(val.Data[i*m:(i+1)*m], a.Value.Data[id*m:(id+1)*m])
+	}
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		idxCopy := append([]int(nil), idx...)
+		tp.record(func() {
+			for i, id := range idxCopy {
+				for j := 0; j < m; j++ {
+					a.Grad.Data[id*m+j] += out.Grad.Data[i*m+j]
+				}
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D applies a 2-D convolution with weights w [F,C,KH,KW] and optional
+// bias b (nil for none) over NCHW input x.
+func Conv2D(x, w, b *Var, stride, pad int) *Var {
+	var bt *tensor.Tensor
+	if b != nil {
+		bt = b.Value
+	}
+	tp := tapeOf(x, w, b)
+	out := newResult(tp, tensor.Conv2D(x.Value, w.Value, bt, stride, pad))
+	if tp != nil {
+		tp.record(func() {
+			dx, dw, db := tensor.Conv2DBackward(x.Value, w.Value, out.Grad, stride, pad, b != nil)
+			if x.tape != nil {
+				x.Grad.AddInPlace(dx)
+			}
+			if w.tape != nil {
+				w.Grad.AddInPlace(dw)
+			}
+			if b != nil && b.tape != nil {
+				b.Grad.AddInPlace(db)
+			}
+		})
+	}
+	return out
+}
+
+// MaxPool2D applies square max pooling with window k and stride s.
+func MaxPool2D(x *Var, k, s int) *Var {
+	val, arg := tensor.MaxPool2D(x.Value, k, s)
+	tp := tapeOf(x)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			x.Grad.AddInPlace(tensor.MaxPool2DBackward(x.Value.Shape, arg, out.Grad))
+		})
+	}
+	return out
+}
+
+// GlobalAvgPool2D reduces [N,C,H,W] to [N,C] by spatial averaging.
+func GlobalAvgPool2D(x *Var) *Var {
+	tp := tapeOf(x)
+	out := newResult(tp, tensor.GlobalAvgPool2D(x.Value))
+	if tp != nil {
+		tp.record(func() {
+			x.Grad.AddInPlace(tensor.GlobalAvgPool2DBackward(x.Value.Shape, out.Grad))
+		})
+	}
+	return out
+}
+
+// BatchNorm2D normalizes each channel of an NCHW input over (N,H,W) using
+// batch statistics in training mode and the provided running statistics in
+// eval mode. In training mode the running statistics are updated in place
+// with the given momentum (the "moving average decay" hyperparameter the
+// paper calls out in §2.1).
+func BatchNorm2D(x, gamma, beta *Var, runMean, runVar *tensor.Tensor, momentum, eps float64, train bool) *Var {
+	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
+	if gamma.Value.Size() != c || beta.Value.Size() != c {
+		panic(fmt.Sprintf("autograd: BatchNorm2D gamma/beta size for %d channels", c))
+	}
+	plane := h * w
+	m := float64(n * plane)
+
+	mean := make([]float64, c)
+	variance := make([]float64, c)
+	if train {
+		for ic := 0; ic < c; ic++ {
+			s := 0.0
+			for in := 0; in < n; in++ {
+				base := ((in*c + ic) * h) * w
+				for p := 0; p < plane; p++ {
+					s += x.Value.Data[base+p]
+				}
+			}
+			mean[ic] = s / m
+		}
+		for ic := 0; ic < c; ic++ {
+			s := 0.0
+			for in := 0; in < n; in++ {
+				base := ((in*c + ic) * h) * w
+				for p := 0; p < plane; p++ {
+					d := x.Value.Data[base+p] - mean[ic]
+					s += d * d
+				}
+			}
+			variance[ic] = s / m
+		}
+		for ic := 0; ic < c; ic++ {
+			runMean.Data[ic] = (1-momentum)*runMean.Data[ic] + momentum*mean[ic]
+			runVar.Data[ic] = (1-momentum)*runVar.Data[ic] + momentum*variance[ic]
+		}
+	} else {
+		copy(mean, runMean.Data)
+		copy(variance, runVar.Data)
+	}
+
+	invStd := make([]float64, c)
+	for ic := 0; ic < c; ic++ {
+		invStd[ic] = 1 / math.Sqrt(variance[ic]+eps)
+	}
+	val := tensor.New(x.Value.Shape...)
+	xhat := make([]float64, len(x.Value.Data))
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := ((in*c + ic) * h) * w
+			g, bb := gamma.Value.Data[ic], beta.Value.Data[ic]
+			for p := 0; p < plane; p++ {
+				xh := (x.Value.Data[base+p] - mean[ic]) * invStd[ic]
+				xhat[base+p] = xh
+				val.Data[base+p] = g*xh + bb
+			}
+		}
+	}
+
+	tp := tapeOf(x, gamma, beta)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			for ic := 0; ic < c; ic++ {
+				sumDy, sumDyXhat := 0.0, 0.0
+				for in := 0; in < n; in++ {
+					base := ((in*c + ic) * h) * w
+					for p := 0; p < plane; p++ {
+						dy := out.Grad.Data[base+p]
+						sumDy += dy
+						sumDyXhat += dy * xhat[base+p]
+					}
+				}
+				if gamma.tape != nil {
+					gamma.Grad.Data[ic] += sumDyXhat
+				}
+				if beta.tape != nil {
+					beta.Grad.Data[ic] += sumDy
+				}
+				if x.tape != nil {
+					g := gamma.Value.Data[ic]
+					if train {
+						// Full batch-stat gradient.
+						for in := 0; in < n; in++ {
+							base := ((in*c + ic) * h) * w
+							for p := 0; p < plane; p++ {
+								dy := out.Grad.Data[base+p]
+								x.Grad.Data[base+p] += g * invStd[ic] *
+									(dy - sumDy/m - xhat[base+p]*sumDyXhat/m)
+							}
+						}
+					} else {
+						for in := 0; in < n; in++ {
+							base := ((in*c + ic) * h) * w
+							for p := 0; p < plane; p++ {
+								x.Grad.Data[base+p] += g * invStd[ic] * out.Grad.Data[base+p]
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// LayerNorm normalizes each row of a 2-D var (the Transformer normalization).
+func LayerNorm(x, gamma, beta *Var, eps float64) *Var {
+	n, m := x.Value.Shape[0], x.Value.Shape[1]
+	if gamma.Value.Size() != m || beta.Value.Size() != m {
+		panic("autograd: LayerNorm gamma/beta size mismatch")
+	}
+	val := tensor.New(n, m)
+	xhat := make([]float64, n*m)
+	invStd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Value.Data[i*m : (i+1)*m]
+		mu := 0.0
+		for _, v := range row {
+			mu += v
+		}
+		mu /= float64(m)
+		va := 0.0
+		for _, v := range row {
+			d := v - mu
+			va += d * d
+		}
+		va /= float64(m)
+		is := 1 / math.Sqrt(va+eps)
+		invStd[i] = is
+		for j, v := range row {
+			xh := (v - mu) * is
+			xhat[i*m+j] = xh
+			val.Data[i*m+j] = gamma.Value.Data[j]*xh + beta.Value.Data[j]
+		}
+	}
+	tp := tapeOf(x, gamma, beta)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			mf := float64(m)
+			for i := 0; i < n; i++ {
+				sumDy, sumDyXhat := 0.0, 0.0
+				for j := 0; j < m; j++ {
+					dy := out.Grad.Data[i*m+j] * gamma.Value.Data[j]
+					sumDy += dy
+					sumDyXhat += dy * xhat[i*m+j]
+				}
+				for j := 0; j < m; j++ {
+					dy := out.Grad.Data[i*m+j]
+					if gamma.tape != nil {
+						gamma.Grad.Data[j] += dy * xhat[i*m+j]
+					}
+					if beta.tape != nil {
+						beta.Grad.Data[j] += dy
+					}
+					if x.tape != nil {
+						dyg := dy * gamma.Value.Data[j]
+						x.Grad.Data[i*m+j] += invStd[i] * (dyg - sumDy/mf - xhat[i*m+j]*sumDyXhat/mf)
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// RoIBox describes a region of interest in feature-map coordinates for
+// RoIAlign. Batch selects the image within the input batch.
+type RoIBox struct {
+	Batch          int
+	X1, Y1, X2, Y2 float64
+}
+
+// RoIAlign crops each box from an NCHW feature map and resizes it to
+// [size,size] with bilinear interpolation (one sample per bin, the
+// simplified RoIAlign used in lightweight Mask R-CNN implementations).
+// Output is [R, C, size, size]. Box coordinates are not differentiable.
+func RoIAlign(x *Var, boxes []RoIBox, size int) *Var {
+	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
+	r := len(boxes)
+	val := tensor.New(r, c, size, size)
+	// For backward we record, per output element, the 4 input indices and
+	// bilinear weights used.
+	type tap struct {
+		idx [4]int
+		wgt [4]float64
+	}
+	taps := make([]tap, r*c*size*size)
+	oi := 0
+	for ri, box := range boxes {
+		if box.Batch < 0 || box.Batch >= n {
+			panic(fmt.Sprintf("autograd: RoIAlign batch %d out of %d", box.Batch, n))
+		}
+		bw := math.Max(box.X2-box.X1, 1e-6)
+		bh := math.Max(box.Y2-box.Y1, 1e-6)
+		for ic := 0; ic < c; ic++ {
+			base := ((box.Batch*c + ic) * h) * w
+			for oy := 0; oy < size; oy++ {
+				sy := box.Y1 + (float64(oy)+0.5)*bh/float64(size)
+				for ox := 0; ox < size; ox++ {
+					sx := box.X1 + (float64(ox)+0.5)*bw/float64(size)
+					// Clamp sample point into the feature map.
+					cy := math.Min(math.Max(sy, 0), float64(h-1))
+					cx := math.Min(math.Max(sx, 0), float64(w-1))
+					y0 := int(math.Floor(cy))
+					x0 := int(math.Floor(cx))
+					y1 := min(y0+1, h-1)
+					x1 := min(x0+1, w-1)
+					fy := cy - float64(y0)
+					fx := cx - float64(x0)
+					w00 := (1 - fy) * (1 - fx)
+					w01 := (1 - fy) * fx
+					w10 := fy * (1 - fx)
+					w11 := fy * fx
+					i00 := base + y0*w + x0
+					i01 := base + y0*w + x1
+					i10 := base + y1*w + x0
+					i11 := base + y1*w + x1
+					val.Data[oi] = w00*x.Value.Data[i00] + w01*x.Value.Data[i01] +
+						w10*x.Value.Data[i10] + w11*x.Value.Data[i11]
+					taps[oi] = tap{idx: [4]int{i00, i01, i10, i11}, wgt: [4]float64{w00, w01, w10, w11}}
+					oi++
+				}
+			}
+		}
+		_ = ri
+	}
+	tp := tapeOf(x)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			for i, t := range taps {
+				g := out.Grad.Data[i]
+				if g == 0 {
+					continue
+				}
+				for k := 0; k < 4; k++ {
+					x.Grad.Data[t.idx[k]] += g * t.wgt[k]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// SpatialRows rearranges a conv head output [N, G*K, H, W] into per-anchor
+// rows [N*H*W*G, K]: row ordering is image-major, then raster order (y, x),
+// then group g. Detection heads use it to turn per-cell, per-anchor channel
+// groups into classification/regression rows.
+func SpatialRows(x *Var, k int) *Var {
+	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
+	if c%k != 0 {
+		panic(fmt.Sprintf("autograd: SpatialRows channels %d not divisible by %d", c, k))
+	}
+	g := c / k
+	rows := n * h * w * g
+	val := tensor.New(rows, k)
+	ri := 0
+	for in := 0; in < n; in++ {
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				for gi := 0; gi < g; gi++ {
+					for ki := 0; ki < k; ki++ {
+						ch := gi*k + ki
+						val.Data[ri*k+ki] = x.Value.Data[((in*c+ch)*h+y)*w+xx]
+					}
+					ri++
+				}
+			}
+		}
+	}
+	tp := tapeOf(x)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			ri := 0
+			for in := 0; in < n; in++ {
+				for y := 0; y < h; y++ {
+					for xx := 0; xx < w; xx++ {
+						for gi := 0; gi < g; gi++ {
+							for ki := 0; ki < k; ki++ {
+								ch := gi*k + ki
+								x.Grad.Data[((in*c+ch)*h+y)*w+xx] += out.Grad.Data[ri*k+ki]
+							}
+							ri++
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}

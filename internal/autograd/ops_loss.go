@@ -1,0 +1,216 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// IgnoreLabel marks examples excluded from SoftmaxCrossEntropy (e.g. padding
+// tokens in translation batches).
+const IgnoreLabel = -1
+
+// SoftmaxCrossEntropy fuses a row softmax with negative log-likelihood over
+// integer class labels, returning the mean loss over non-ignored rows.
+// The fused gradient (p - onehot)/n is far better conditioned than composing
+// Softmax and Log, which is why every framework fuses it.
+func SoftmaxCrossEntropy(logits *Var, labels []int) *Var {
+	n, m := logits.Value.Shape[0], logits.Value.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("autograd: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
+	}
+	probs := tensor.New(n, m)
+	loss := 0.0
+	count := 0
+	for i := 0; i < n; i++ {
+		row := logits.Value.Data[i*m : (i+1)*m]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			probs.Data[i*m+j] = e
+			s += e
+		}
+		for j := 0; j < m; j++ {
+			probs.Data[i*m+j] /= s
+		}
+		if labels[i] == IgnoreLabel {
+			continue
+		}
+		if labels[i] < 0 || labels[i] >= m {
+			panic(fmt.Sprintf("autograd: label %d out of %d classes", labels[i], m))
+		}
+		p := probs.Data[i*m+labels[i]]
+		loss -= math.Log(math.Max(p, 1e-300))
+		count++
+	}
+	if count == 0 {
+		count = 1
+	}
+	val := tensor.FromSlice([]float64{loss / float64(count)}, 1)
+	tp := tapeOf(logits)
+	out := newResult(tp, val)
+	if tp != nil {
+		lab := append([]int(nil), labels...)
+		tp.record(func() {
+			g := out.Grad.Data[0] / float64(count)
+			for i := 0; i < n; i++ {
+				if lab[i] == IgnoreLabel {
+					continue
+				}
+				for j := 0; j < m; j++ {
+					d := probs.Data[i*m+j]
+					if j == lab[i] {
+						d -= 1
+					}
+					logits.Grad.Data[i*m+j] += g * d
+				}
+			}
+		})
+	}
+	return out
+}
+
+// BCEWithLogits computes mean binary cross-entropy between logits and
+// targets in [0,1], using the numerically stable log-sum-exp form.
+func BCEWithLogits(logits *Var, targets []float64) *Var {
+	n := logits.Value.Size()
+	if len(targets) != n {
+		panic(fmt.Sprintf("autograd: BCEWithLogits %d targets for %d logits", len(targets), n))
+	}
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		x, t := logits.Value.Data[i], targets[i]
+		// max(x,0) - x*t + log(1+exp(-|x|))
+		loss += math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
+	tp := tapeOf(logits)
+	out := newResult(tp, val)
+	if tp != nil {
+		tgt := append([]float64(nil), targets...)
+		tp.record(func() {
+			g := out.Grad.Data[0] / float64(n)
+			for i := 0; i < n; i++ {
+				sig := 1 / (1 + math.Exp(-logits.Value.Data[i]))
+				logits.Grad.Data[i] += g * (sig - tgt[i])
+			}
+		})
+	}
+	return out
+}
+
+// MSE returns the mean squared error between pred and a constant target.
+func MSE(pred *Var, target *tensor.Tensor) *Var {
+	n := pred.Value.Size()
+	if target.Size() != n {
+		panic("autograd: MSE size mismatch")
+	}
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		d := pred.Value.Data[i] - target.Data[i]
+		loss += d * d
+	}
+	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
+	tp := tapeOf(pred)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			g := out.Grad.Data[0] * 2 / float64(n)
+			for i := 0; i < n; i++ {
+				pred.Grad.Data[i] += g * (pred.Value.Data[i] - target.Data[i])
+			}
+		})
+	}
+	return out
+}
+
+// SmoothL1 returns the mean Huber loss (delta=1) between pred and a constant
+// target — the box-regression loss of SSD and Mask R-CNN.
+func SmoothL1(pred *Var, target *tensor.Tensor) *Var {
+	n := pred.Value.Size()
+	if target.Size() != n {
+		panic("autograd: SmoothL1 size mismatch")
+	}
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		d := pred.Value.Data[i] - target.Data[i]
+		if a := math.Abs(d); a < 1 {
+			loss += 0.5 * d * d
+		} else {
+			loss += a - 0.5
+		}
+	}
+	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
+	tp := tapeOf(pred)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			g := out.Grad.Data[0] / float64(n)
+			for i := 0; i < n; i++ {
+				d := pred.Value.Data[i] - target.Data[i]
+				switch {
+				case d > 1:
+					pred.Grad.Data[i] += g
+				case d < -1:
+					pred.Grad.Data[i] -= g
+				default:
+					pred.Grad.Data[i] += g * d
+				}
+			}
+		})
+	}
+	return out
+}
+
+// SoftCrossEntropy is cross-entropy against soft target distributions
+// (rows of targets sum to 1): the AlphaZero policy loss -Σ π·log p.
+// Gradient per row is (softmax(logits) - π)/n.
+func SoftCrossEntropy(logits *Var, targets *tensor.Tensor) *Var {
+	n, m := logits.Value.Shape[0], logits.Value.Shape[1]
+	if targets.Size() != n*m {
+		panic("autograd: SoftCrossEntropy target size mismatch")
+	}
+	probs := tensor.New(n, m)
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		row := logits.Value.Data[i*m : (i+1)*m]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			probs.Data[i*m+j] = e
+			s += e
+		}
+		logZ := math.Log(s) + mx
+		for j := 0; j < m; j++ {
+			probs.Data[i*m+j] /= s
+			if t := targets.Data[i*m+j]; t > 0 {
+				loss -= t * (row[j] - logZ)
+			}
+		}
+	}
+	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
+	tp := tapeOf(logits)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			g := out.Grad.Data[0] / float64(n)
+			for i := 0; i < n*m; i++ {
+				logits.Grad.Data[i] += g * (probs.Data[i] - targets.Data[i])
+			}
+		})
+	}
+	return out
+}

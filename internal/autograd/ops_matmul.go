@@ -1,0 +1,99 @@
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MatMul returns a·b for a [n,k] and b [k,m].
+// Gradients: da = dout·bᵀ, db = aᵀ·dout.
+func MatMul(a, b *Var) *Var {
+	tp := tapeOf(a, b)
+	out := newResult(tp, tensor.MatMul(a.Value, b.Value))
+	if tp != nil {
+		tp.record(func() {
+			if a.tape != nil {
+				a.Grad.AddInPlace(tensor.MatMulTransB(out.Grad, b.Value))
+			}
+			if b.tape != nil {
+				b.Grad.AddInPlace(tensor.MatMulTransA(a.Value, out.Grad))
+			}
+		})
+	}
+	return out
+}
+
+// Transpose returns aᵀ for a 2-D var.
+func Transpose(a *Var) *Var {
+	tp := tapeOf(a)
+	out := newResult(tp, tensor.Transpose2D(a.Value))
+	if tp != nil {
+		tp.record(func() {
+			a.Grad.AddInPlace(tensor.Transpose2D(out.Grad))
+		})
+	}
+	return out
+}
+
+// RowSum reduces a [n,m] var to [n,1] by summing each row.
+func RowSum(a *Var) *Var {
+	if a.Value.Rank() != 2 {
+		panic(fmt.Sprintf("autograd: RowSum of shape %v", a.Value.Shape))
+	}
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	val := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < m; j++ {
+			s += a.Value.Data[i*m+j]
+		}
+		val.Data[i] = s
+	}
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			for i := 0; i < n; i++ {
+				g := out.Grad.Data[i]
+				for j := 0; j < m; j++ {
+					a.Grad.Data[i*m+j] += g
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Sum reduces to a scalar.
+func Sum(a *Var) *Var {
+	val := tensor.FromSlice([]float64{a.Value.Sum()}, 1)
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			g := out.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		})
+	}
+	return out
+}
+
+// Mean reduces to the scalar arithmetic mean.
+func Mean(a *Var) *Var {
+	n := float64(a.Value.Size())
+	val := tensor.FromSlice([]float64{a.Value.Sum() / n}, 1)
+	tp := tapeOf(a)
+	out := newResult(tp, val)
+	if tp != nil {
+		tp.record(func() {
+			g := out.Grad.Data[0] / n
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		})
+	}
+	return out
+}

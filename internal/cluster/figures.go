@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Figure4Row is one bar of Figure 4: the v0.5→v0.6 speedup of the fastest
+// 16-chip entry for one benchmark, despite the raised quality targets.
+type Figure4Row struct {
+	Benchmark string
+	V05Time   time.Duration
+	V06Time   time.Duration
+	Speedup   float64
+}
+
+// Figure4 computes the 16-chip speedups for every benchmark.
+func Figure4() []Figure4Row {
+	v05, v06 := Rounds()
+	chip, net := ReferenceChip(), ReferenceNetwork()
+	sys := System{Name: "sim-16x", Chips: 16, Chip: chip, Network: net}
+	var rows []Figure4Row
+	for _, w := range WorkloadModels() {
+		_, t05, err05 := BestBatch(sys, w, v05)
+		_, t06, err06 := BestBatch(sys, w, v06)
+		if err05 != nil || err06 != nil {
+			continue
+		}
+		rows = append(rows, Figure4Row{
+			Benchmark: w.ID,
+			V05Time:   t05,
+			V06Time:   t06,
+			Speedup:   float64(t05) / float64(t06),
+		})
+	}
+	return rows
+}
+
+// Figure5Row is one bar of Figure 5: the increase in the number of chips in
+// the system producing the fastest overall score, v0.5→v0.6.
+type Figure5Row struct {
+	Benchmark string
+	V05Chips  int
+	V06Chips  int
+	Increase  float64
+	V05Time   time.Duration
+	V06Time   time.Duration
+}
+
+// Figure5 computes the best-overall-scale movements for every benchmark.
+func Figure5() []Figure5Row {
+	v05, v06 := Rounds()
+	chip, net := ReferenceChip(), ReferenceNetwork()
+	var rows []Figure5Row
+	for _, w := range WorkloadModels() {
+		s05, _, t05 := BestScale(chip, net, w, v05)
+		s06, _, t06 := BestScale(chip, net, w, v06)
+		if s05.Chips == 0 || s06.Chips == 0 {
+			continue
+		}
+		rows = append(rows, Figure5Row{
+			Benchmark: w.ID,
+			V05Chips:  s05.Chips,
+			V06Chips:  s06.Chips,
+			Increase:  float64(s06.Chips) / float64(s05.Chips),
+			V05Time:   t05,
+			V06Time:   t06,
+		})
+	}
+	return rows
+}
+
+// GeoMeanSpeedup returns the geometric mean of Figure-4 speedups (the
+// paper reports an average of ~1.3×).
+func GeoMeanSpeedup(rows []Figure4Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rows {
+		s += math.Log(r.Speedup)
+	}
+	return math.Exp(s / float64(len(rows)))
+}
+
+// GeoMeanIncrease returns the geometric mean of Figure-5 chip-count
+// increases (the paper reports an average of ~5.5×).
+func GeoMeanIncrease(rows []Figure5Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rows {
+		s += math.Log(r.Increase)
+	}
+	return math.Exp(s / float64(len(rows)))
+}
+
+// FormatDuration renders simulated times compactly for reports.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}

@@ -1,0 +1,29 @@
+package core
+
+import "time"
+
+// Clock abstracts the run clock so the timing rules of §3.2.1 can be
+// enforced and tested: the real clock drives actual training, while the
+// simulated clock drives rule tests and the cluster-scale studies.
+type Clock interface {
+	// Now returns elapsed time since the clock's origin.
+	Now() time.Duration
+}
+
+// RealClock measures wall time from its creation.
+type RealClock struct{ start time.Time }
+
+// NewRealClock starts a wall clock.
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// SimClock is a manually advanced clock.
+type SimClock struct{ t time.Duration }
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Duration { return c.t }
+
+// Advance moves the clock forward.
+func (c *SimClock) Advance(d time.Duration) { c.t += d }

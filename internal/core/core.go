@@ -1,0 +1,6 @@
+// Package core implements the MLPerf Training benchmark itself — the
+// paper's primary contribution: the benchmark suite definition (Table 1),
+// the time-to-train metric with its timing rules (§3.2), quality thresholds
+// (§3.3), multi-run result aggregation (§3.2.2), and the hyperparameter
+// rules (§3.4). The submission process (§4) builds on this package.
+package core

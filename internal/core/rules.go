@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Division is the §4.2.1 submission division.
+type Division string
+
+// The two divisions.
+const (
+	// Closed requires equivalence to the reference implementation and
+	// restricts hyperparameter modification, for direct system comparison.
+	Closed Division = "closed"
+	// Open allows different model architectures, optimizers, and data
+	// augmentations, to encourage innovative solutions.
+	Open Division = "open"
+)
+
+// HParamRule describes one hyperparameter's modifiability in the Closed
+// division (§3.4: "MLPerf rules specify the list of modifiable
+// hyperparameters as well as restrictions to their modification").
+type HParamRule struct {
+	Name string
+	// Modifiable in the Closed division.
+	Modifiable bool
+	// Constraint documents the restriction (e.g. the linear-scaling
+	// coupling of learning rate to batch size).
+	Constraint string
+}
+
+// ClosedRules returns the Closed-division hyperparameter rule table for a
+// benchmark. Batch size is always modifiable ("submissions must be able to
+// adjust the minibatch size in order to showcase maximum system
+// efficiency"); the learning rate may only change through the scaling rule.
+func ClosedRules(benchID string) []HParamRule {
+	common := []HParamRule{
+		{Name: "batch_size", Modifiable: true,
+			Constraint: "free choice (Top500-style problem sizing)"},
+		{Name: "learning_rate", Modifiable: true,
+			Constraint: "must follow the linear scaling rule against the reference batch"},
+		{Name: "warmup_epochs", Modifiable: true,
+			Constraint: "only alongside a batch-size change"},
+		{Name: "model_architecture", Modifiable: false,
+			Constraint: "must be mathematically equivalent to the reference"},
+		{Name: "optimizer", Modifiable: false,
+			Constraint: "reference optimizer required (exceptions by rule change only)"},
+		{Name: "weight_initialization", Modifiable: false,
+			Constraint: "reference distribution required"},
+		{Name: "data_augmentation", Modifiable: false,
+			Constraint: "reference pipeline required; may not move to reformatting"},
+		{Name: "quality_target", Modifiable: false,
+			Constraint: "fixed per round"},
+	}
+	if benchID == "image_classification" {
+		common = append(common, HParamRule{
+			Name: "optimizer_lars", Modifiable: true,
+			Constraint: "LARS admitted for large-batch ResNet from v0.6 (§5)",
+		})
+	}
+	return common
+}
+
+// HParamChoice is a submission's declared hyperparameter setting.
+type HParamChoice struct {
+	Name  string
+	Value float64
+	// Reference is the reference implementation's value.
+	Reference float64
+}
+
+// Violation is a rule-compliance finding.
+type Violation struct {
+	Rule    string
+	Message string
+}
+
+// CheckClosedHyperparams verifies Closed-division choices: unknown or
+// non-modifiable hyperparameters may not change, and a changed learning
+// rate must match the linear-scaling rule within tolerance.
+func CheckClosedHyperparams(benchID string, batch, refBatch int, choices []HParamChoice) []Violation {
+	rules := map[string]HParamRule{}
+	for _, r := range ClosedRules(benchID) {
+		rules[r.Name] = r
+	}
+	var out []Violation
+	for _, c := range choices {
+		rule, known := rules[c.Name]
+		if !known {
+			if c.Value != c.Reference {
+				out = append(out, Violation{Rule: c.Name,
+					Message: fmt.Sprintf("hyperparameter %q is not in the modifiable list but changed from %v to %v", c.Name, c.Reference, c.Value)})
+			}
+			continue
+		}
+		if !rule.Modifiable && c.Value != c.Reference {
+			out = append(out, Violation{Rule: c.Name,
+				Message: fmt.Sprintf("%q is not modifiable in the Closed division (changed %v -> %v)", c.Name, c.Reference, c.Value)})
+		}
+		if rule.Name == "learning_rate" && c.Value != c.Reference {
+			want := c.Reference * float64(batch) / float64(refBatch)
+			if relDiff(c.Value, want) > 0.25 {
+				out = append(out, Violation{Rule: "learning_rate",
+					Message: fmt.Sprintf("learning rate %v does not follow the linear scaling rule (expected ≈%v for batch %d vs reference %d)", c.Value, want, batch, refBatch)})
+			}
+		}
+	}
+	return out
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

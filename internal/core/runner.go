@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mlog"
+)
+
+// CompileExclusionCap is the §3.2.1 limit on excluded model-creation/
+// compilation time: "we allow excluding up to 20 minutes of model creation
+// time".
+const CompileExclusionCap = 20 * time.Minute
+
+// RunConfig controls one timed training session.
+type RunConfig struct {
+	Seed uint64
+	// Clock drives timing; nil selects a fresh wall clock.
+	Clock Clock
+	// LogWriter streams MLLOG lines as they are produced (may be nil).
+	LogWriter io.Writer
+	// SystemInit simulates cluster/system initialization; its duration is
+	// fully excluded from timing (§3.2.1: "not indicative of a system's
+	// training capability"). Nil means none.
+	SystemInit func(Clock)
+	// ModelCreation simulates model creation/graph compilation; its
+	// duration is excluded up to CompileExclusionCap. Nil means none.
+	ModelCreation func(Clock)
+	// MaxEpochs overrides the benchmark's cap when positive.
+	MaxEpochs int
+	// EvalEvery sets the quality-evaluation cadence in epochs (default 1,
+	// the "prescribed intervals" of §4.1).
+	EvalEvery int
+}
+
+// RunResult is the outcome of one timed training session.
+type RunResult struct {
+	Benchmark string
+	Seed      uint64
+	// TimeToTrain is the official metric: run_stop − run_start, with the
+	// §3.2.1 exclusions applied.
+	TimeToTrain time.Duration
+	// ExcludedInit and ExcludedCompile record untimed durations.
+	ExcludedInit    time.Duration
+	ExcludedCompile time.Duration
+	// Epochs is the number of epochs executed.
+	Epochs int
+	// FinalQuality is the last evaluated quality value.
+	FinalQuality float64
+	// Converged reports whether the quality target was reached.
+	Converged bool
+	// QualityCurve holds the per-evaluation quality values.
+	QualityCurve []float64
+	// Log is the structured training-session log.
+	Log *mlog.Logger
+}
+
+// Run executes one end-to-end timed training session for a benchmark,
+// applying the timing rules of §3.2.1:
+//
+//   - system initialization is fully excluded;
+//   - model creation/compilation is excluded up to 20 minutes;
+//   - data reformatting happened at dataset generation (untimed);
+//   - timing begins when training data is first touched and stops when the
+//     validation quality reaches the target.
+func Run(b Benchmark, cfg RunConfig) RunResult {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewRealClock()
+	}
+	logger := mlog.NewLogger(cfg.LogWriter)
+	ms := func(d time.Duration) int64 { return d.Milliseconds() }
+
+	logger.Simple(ms(clock.Now()), mlog.KeyBenchmark, b.ID)
+	logger.Simple(ms(clock.Now()), mlog.KeySeed, cfg.Seed)
+	logger.Simple(ms(clock.Now()), mlog.KeyQualityTarget, b.Target)
+
+	// --- Excluded: system initialization (§3.2.1) ---
+	initStart := clock.Now()
+	logger.Simple(ms(initStart), mlog.KeyInitStart, "system_init")
+	if cfg.SystemInit != nil {
+		cfg.SystemInit(clock)
+	}
+	// --- Excluded up to cap: model creation / compilation (§3.2.1) ---
+	compileStart := clock.Now()
+	w := b.New(cfg.Seed)
+	if cfg.ModelCreation != nil {
+		cfg.ModelCreation(clock)
+	}
+	compileEnd := clock.Now()
+	logger.Simple(ms(compileEnd), mlog.KeyInitStop, "ready")
+
+	excludedInit := compileStart - initStart
+	compileDur := compileEnd - compileStart
+	excludedCompile := compileDur
+	if excludedCompile > CompileExclusionCap {
+		excludedCompile = CompileExclusionCap
+	}
+	// Any compilation beyond the cap counts against the run clock.
+	penalty := compileDur - excludedCompile
+
+	// --- Timed region: begins at first data touch ---
+	runStart := clock.Now()
+	logger.Simple(ms(runStart), mlog.KeyRunStart, b.ID)
+
+	maxEpochs := b.MaxEpochs
+	if cfg.MaxEpochs > 0 {
+		maxEpochs = cfg.MaxEpochs
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+
+	res := RunResult{Benchmark: b.ID, Seed: cfg.Seed, ExcludedInit: excludedInit, ExcludedCompile: excludedCompile, Log: logger}
+	for epoch := 0; epoch < maxEpochs; epoch++ {
+		logger.Log(mlog.Event{TimeMS: ms(clock.Now()), Key: mlog.KeyEpochStart, Epoch: epoch})
+		loss := w.TrainEpoch()
+		logger.Log(mlog.Event{TimeMS: ms(clock.Now()), Key: mlog.KeyEpochStop, Epoch: epoch, Value: loss})
+		res.Epochs = epoch + 1
+		if (epoch+1)%evalEvery != 0 && epoch+1 < maxEpochs {
+			continue
+		}
+		logger.Log(mlog.Event{TimeMS: ms(clock.Now()), Key: mlog.KeyEvalStart, Epoch: epoch})
+		q := w.Evaluate()
+		logger.EvalAccuracy(ms(clock.Now()), epoch, q)
+		logger.Log(mlog.Event{TimeMS: ms(clock.Now()), Key: mlog.KeyEvalStop, Epoch: epoch})
+		res.FinalQuality = q
+		res.QualityCurve = append(res.QualityCurve, q)
+		if q >= b.Target {
+			res.Converged = true
+			break
+		}
+	}
+
+	runStop := clock.Now()
+	status := "aborted"
+	if res.Converged {
+		status = "success"
+	}
+	logger.Simple(ms(runStop), mlog.KeyRunStop, status)
+	logger.Simple(ms(runStop), mlog.KeyStatus, status)
+	res.TimeToTrain = runStop - runStart + penalty
+	return res
+}
+
+// String summarizes a run result.
+func (r RunResult) String() string {
+	conv := "DNF"
+	if r.Converged {
+		conv = "converged"
+	}
+	return fmt.Sprintf("%s seed=%d %s epochs=%d quality=%.4f ttt=%s",
+		r.Benchmark, r.Seed, conv, r.Epochs, r.FinalQuality, r.TimeToTrain.Round(time.Millisecond))
+}

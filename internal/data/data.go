@@ -1,0 +1,124 @@
+// Package data implements the input pipeline machinery shared by all
+// benchmarks: seeded epoch shuffling, minibatching, sharding for data
+// parallelism, and the reformatting/augmentation boundary of the paper's
+// timing rules (§3.2.1: one-time reformatting is untimed, but per-epoch
+// augmentation must happen inside the timed training loop).
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Loader yields shuffled minibatch index sets over a dataset of N examples.
+// Each epoch is a fresh permutation drawn from the loader's RNG, so data
+// traversal order is reproducible per seed — one of the stochasticity
+// sources §2.2.3 identifies.
+type Loader struct {
+	N        int
+	Batch    int
+	DropLast bool
+
+	rng   *tensor.RNG
+	order []int
+	pos   int
+	epoch int
+}
+
+// NewLoader builds a loader over n examples with the given batch size.
+func NewLoader(n, batch int, rng *tensor.RNG) *Loader {
+	if n <= 0 || batch <= 0 {
+		panic(fmt.Sprintf("data: invalid loader n=%d batch=%d", n, batch))
+	}
+	l := &Loader{N: n, Batch: batch, rng: rng}
+	l.reshuffle()
+	return l
+}
+
+func (l *Loader) reshuffle() {
+	l.order = l.rng.Perm(l.N)
+	l.pos = 0
+}
+
+// Epoch returns the number of completed passes over the data.
+func (l *Loader) Epoch() int { return l.epoch }
+
+// StepsPerEpoch returns the number of batches in one epoch.
+func (l *Loader) StepsPerEpoch() int {
+	if l.DropLast {
+		return l.N / l.Batch
+	}
+	return (l.N + l.Batch - 1) / l.Batch
+}
+
+// Next returns the next minibatch of example indices and whether this batch
+// begins a new epoch.
+func (l *Loader) Next() (idx []int, newEpoch bool) {
+	if l.pos >= l.N || (l.DropLast && l.pos+l.Batch > l.N) {
+		l.epoch++
+		l.reshuffle()
+	}
+	newEpoch = l.pos == 0
+	end := l.pos + l.Batch
+	if end > l.N {
+		end = l.N
+	}
+	idx = append([]int(nil), l.order[l.pos:end]...)
+	l.pos = end
+	return idx, newEpoch
+}
+
+// Shard splits a batch across data-parallel workers: worker w of k receives
+// the contiguous slice [w·len/k, (w+1)·len/k). All elements are assigned to
+// exactly one shard.
+func Shard(idx []int, worker, workers int) []int {
+	if workers <= 0 || worker < 0 || worker >= workers {
+		panic(fmt.Sprintf("data: invalid shard %d of %d", worker, workers))
+	}
+	lo := worker * len(idx) / workers
+	hi := (worker + 1) * len(idx) / workers
+	return idx[lo:hi]
+}
+
+// Stage identifies where an input transformation runs, enforcing the
+// §3.2.1 rule: reformatting happens once and is excluded from timing;
+// augmentation must run inside the timed loop and may NOT be hoisted into
+// the reformatting stage.
+type Stage int
+
+const (
+	// StageReformat marks one-time, deterministic transformations
+	// (decode, layout change) performed before timing starts.
+	StageReformat Stage = iota
+	// StageAugment marks per-epoch stochastic transformations that must
+	// be inside the timed region.
+	StageAugment
+)
+
+// Transform is a named input transformation bound to a pipeline stage.
+type Transform struct {
+	Name  string
+	Stage Stage
+	// Deterministic transforms may run at reformat time; stochastic ones
+	// (anything consuming an RNG) are augmentation by definition.
+	Deterministic bool
+}
+
+// Pipeline is an ordered list of transforms with stage assignments.
+type Pipeline struct {
+	Transforms []Transform
+}
+
+// Validate enforces the timing-rule constraint of §3.2.1: a stochastic
+// transform assigned to the reformat stage is a rule violation ("different
+// crops of each image cannot be created and saved outside of the timed
+// portion of training").
+func (p Pipeline) Validate() error {
+	for _, tr := range p.Transforms {
+		if tr.Stage == StageReformat && !tr.Deterministic {
+			return fmt.Errorf("data: transform %q is stochastic and may not run in the reformat stage (MLPerf timing rule §3.2.1)", tr.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestLoaderCoversEveryExampleOncePerEpoch(t *testing.T) {
+	l := NewLoader(10, 3, tensor.NewRNG(1))
+	seen := map[int]int{}
+	steps := l.StepsPerEpoch()
+	if steps != 4 {
+		t.Fatalf("StepsPerEpoch = %d", steps)
+	}
+	for i := 0; i < steps; i++ {
+		idx, _ := l.Next()
+		for _, id := range idx {
+			seen[id]++
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("epoch covered %d of 10 examples", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("example %d seen %d times in one epoch", id, n)
+		}
+	}
+}
+
+func TestLoaderDropLast(t *testing.T) {
+	l := NewLoader(10, 3, tensor.NewRNG(1))
+	l.DropLast = true
+	if l.StepsPerEpoch() != 3 {
+		t.Fatalf("drop-last steps = %d", l.StepsPerEpoch())
+	}
+	for i := 0; i < 3; i++ {
+		idx, _ := l.Next()
+		if len(idx) != 3 {
+			t.Fatalf("drop-last batch size %d", len(idx))
+		}
+	}
+}
+
+func TestLoaderEpochAccounting(t *testing.T) {
+	l := NewLoader(6, 2, tensor.NewRNG(2))
+	if l.Epoch() != 0 {
+		t.Fatal("fresh loader at epoch 0")
+	}
+	for i := 0; i < 3; i++ {
+		l.Next()
+	}
+	_, newEpoch := l.Next()
+	if !newEpoch || l.Epoch() != 1 {
+		t.Fatalf("expected epoch rollover: newEpoch=%v epoch=%d", newEpoch, l.Epoch())
+	}
+}
+
+func TestLoaderDeterministicPerSeed(t *testing.T) {
+	a := NewLoader(20, 4, tensor.NewRNG(7))
+	b := NewLoader(20, 4, tensor.NewRNG(7))
+	for i := 0; i < 15; i++ {
+		ia, _ := a.Next()
+		ib, _ := b.Next()
+		for j := range ia {
+			if ia[j] != ib[j] {
+				t.Fatal("same seed must give the same traversal")
+			}
+		}
+	}
+	c := NewLoader(20, 4, tensor.NewRNG(8))
+	ia, _ := NewLoader(20, 4, tensor.NewRNG(7)).Next()
+	ic, _ := c.Next()
+	diff := false
+	for j := range ia {
+		if ia[j] != ic[j] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should shuffle differently")
+	}
+}
+
+func TestLoaderShufflesBetweenEpochs(t *testing.T) {
+	l := NewLoader(32, 32, tensor.NewRNG(3))
+	a, _ := l.Next()
+	b, _ := l.Next()
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("epochs should be reshuffled")
+	}
+}
+
+func TestLoaderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLoader(0, 4, tensor.NewRNG(1))
+}
+
+func TestShardPartitionProperty(t *testing.T) {
+	f := func(nRaw uint8, workersRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		workers := int(workersRaw%8) + 1
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		total := 0
+		seen := map[int]bool{}
+		for w := 0; w < workers; w++ {
+			shard := Shard(idx, w, workers)
+			total += len(shard)
+			for _, v := range shard {
+				if seen[v] {
+					return false // overlap
+				}
+				seen[v] = true
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardBalance(t *testing.T) {
+	idx := make([]int, 100)
+	for w := 0; w < 7; w++ {
+		s := Shard(idx, w, 7)
+		if len(s) < 100/7 || len(s) > 100/7+1 {
+			t.Fatalf("shard %d unbalanced: %d", w, len(s))
+		}
+	}
+}
+
+func TestShardPanicsOnBadWorker(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Shard([]int{1, 2}, 2, 2)
+}
+
+func TestPipelineValidation(t *testing.T) {
+	ok := Pipeline{Transforms: []Transform{
+		{Name: "decode", Stage: StageReformat, Deterministic: true},
+		{Name: "random_crop", Stage: StageAugment, Deterministic: false},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid pipeline rejected: %v", err)
+	}
+	// The §3.2.1 violation: hoisting stochastic augmentation into the
+	// untimed reformat stage.
+	bad := Pipeline{Transforms: []Transform{
+		{Name: "random_crop", Stage: StageReformat, Deterministic: false},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("stochastic reformat-stage transform must be rejected")
+	}
+}

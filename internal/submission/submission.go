@@ -1,0 +1,279 @@
+// Package submission implements the §4 benchmarking process: submissions
+// (system description + training logs + code reference), divisions
+// (Closed/Open), system categories (Available/Preview/Research), peer
+// review with compliance checking over structured logs, hyperparameter
+// borrowing, and results reporting — including the deliberate absence of a
+// summary score (§4.2.4).
+package submission
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mlog"
+)
+
+// Category is the §4.2.2 system category.
+type Category string
+
+// The three categories.
+const (
+	// Available systems must be rentable or purchasable, with versioned,
+	// supported software.
+	Available Category = "available"
+	// Preview systems must become Available within 60 days or by the next
+	// submission cycle.
+	Preview Category = "preview"
+	// Research systems are prototypes or larger-than-product scale-ups.
+	Research Category = "research"
+)
+
+// SystemType is the §4.2 on-premise/cloud distinction.
+type SystemType string
+
+// System types.
+const (
+	OnPremise SystemType = "on-premise"
+	Cloud     SystemType = "cloud"
+)
+
+// SystemDescription is the §4.1 hardware/software disclosure.
+type SystemDescription struct {
+	Name            string
+	Org             string
+	Nodes           int
+	Processors      int
+	Accelerators    int
+	AcceleratorType string
+	StoragePerNode  string
+	Interconnect    string
+	OS              string
+	Framework       string
+	LibraryVersions []string
+	Type            SystemType
+	// Cloud-scale inputs (§4.2.3), used when Type == Cloud.
+	HostMemGB   float64
+	AccelWeight float64
+}
+
+// CloudScale returns the §4.2.3 scale metric for cloud systems.
+func (s SystemDescription) CloudScale() float64 {
+	return float64(s.Processors) + s.HostMemGB/64 + float64(s.Accelerators)*s.AccelWeight
+}
+
+// BenchmarkEntry is one benchmark's submission: the result set plus the
+// hyperparameter declarations review checks.
+type BenchmarkEntry struct {
+	Benchmark string
+	Results   core.ResultSet
+	// Batch and RefBatch feed the linear-scaling-rule check.
+	Batch, RefBatch int
+	HParams         []core.HParamChoice
+}
+
+// Submission is one org's entry for one round.
+type Submission struct {
+	Org      string
+	Version  core.Version
+	Division core.Division
+	Category Category
+	System   SystemDescription
+	Entries  []BenchmarkEntry
+	// CodeURL points at the open-sourced code (§4.1 requires public
+	// availability at publication).
+	CodeURL string
+}
+
+// Violation wraps a compliance finding with its source.
+type Violation struct {
+	Benchmark string
+	Message   string
+}
+
+// Review performs the §4.1 peer-review compliance pass over a submission:
+// every entry must carry the required number of converged runs with
+// well-formed logs, Closed-division hyperparameters must satisfy the rules,
+// and the code reference must be present.
+func Review(sub *Submission) []Violation {
+	var out []Violation
+	if sub.CodeURL == "" {
+		out = append(out, Violation{Message: "submission must include code to reproduce the training sessions (§4.1)"})
+	}
+	suite := map[string]core.Benchmark{}
+	for _, b := range core.Suite(sub.Version) {
+		suite[b.ID] = b
+	}
+	for _, e := range sub.Entries {
+		b, ok := suite[e.Benchmark]
+		if !ok {
+			out = append(out, Violation{Benchmark: e.Benchmark, Message: "unknown benchmark for this round"})
+			continue
+		}
+		if n := len(e.Results.ConvergedTimes()); n < b.RequiredRuns {
+			out = append(out, Violation{Benchmark: e.Benchmark,
+				Message: fmt.Sprintf("requires %d converged runs, submitted %d (§3.2.2)", b.RequiredRuns, n)})
+		}
+		for _, r := range e.Results.Runs {
+			if r.Log == nil {
+				out = append(out, Violation{Benchmark: e.Benchmark, Message: "run missing training-session log (§4.1)"})
+				continue
+			}
+			out = append(out, checkLog(e.Benchmark, b, r)...)
+		}
+		if sub.Division == core.Closed {
+			for _, v := range core.CheckClosedHyperparams(e.Benchmark, e.Batch, e.RefBatch, e.HParams) {
+				out = append(out, Violation{Benchmark: e.Benchmark, Message: v.Message})
+			}
+		}
+	}
+	return out
+}
+
+// checkLog validates one run's structured log: markers present, quality
+// target recorded correctly, and the final accuracy of converged runs
+// actually meets the target (no "converged" claims the log contradicts).
+func checkLog(id string, b core.Benchmark, r core.RunResult) []Violation {
+	var out []Violation
+	events := r.Log.Events
+	if mlog.Find(events, mlog.KeyRunStart) == nil || mlog.Find(events, mlog.KeyRunStop) == nil {
+		out = append(out, Violation{Benchmark: id, Message: "log missing run_start/run_stop markers"})
+	}
+	tgt := mlog.Find(events, mlog.KeyQualityTarget)
+	if tgt == nil {
+		out = append(out, Violation{Benchmark: id, Message: "log missing quality_target"})
+	} else if v, ok := tgt.Value.(float64); ok && v != b.Target {
+		out = append(out, Violation{Benchmark: id,
+			Message: fmt.Sprintf("logged quality target %v differs from the round's %v", v, b.Target)})
+	}
+	if r.Converged {
+		if q, ok := mlog.FinalAccuracy(events); !ok || q < b.Target {
+			out = append(out, Violation{Benchmark: id,
+				Message: fmt.Sprintf("run claims convergence but final logged accuracy %.4f is below target %.4f", q, b.Target)})
+		}
+	}
+	return out
+}
+
+// BorrowHyperparams implements the §4.1 review-period borrowing: "if a
+// submission uses hyper-parameters that would also benefit other
+// submissions, we want to ensure that those systems have an opportunity to
+// adopt those hyper-parameters." It copies donor hyperparameters for the
+// given benchmark into the receiver entry (the receiver then re-runs).
+func BorrowHyperparams(receiver *Submission, donor *Submission, benchmark string) error {
+	if receiver.Division != donor.Division {
+		return fmt.Errorf("submission: borrowing across divisions is not allowed")
+	}
+	var src *BenchmarkEntry
+	for i := range donor.Entries {
+		if donor.Entries[i].Benchmark == benchmark {
+			src = &donor.Entries[i]
+		}
+	}
+	if src == nil {
+		return fmt.Errorf("submission: donor has no entry for %s", benchmark)
+	}
+	for i := range receiver.Entries {
+		if receiver.Entries[i].Benchmark == benchmark {
+			receiver.Entries[i].HParams = append([]core.HParamChoice(nil), src.HParams...)
+			receiver.Entries[i].Batch = src.Batch
+			receiver.Entries[i].RefBatch = src.RefBatch
+			return nil
+		}
+	}
+	return fmt.Errorf("submission: receiver has no entry for %s", benchmark)
+}
+
+// ReportRow is one line of the results report: per-benchmark scores only —
+// §4.2.4 rules out a summary score ("there exists no universally
+// representative weighting" and submissions may omit benchmarks).
+type ReportRow struct {
+	Org       string
+	Division  core.Division
+	Category  Category
+	System    string
+	Scale     string
+	Benchmark string
+	Score     time.Duration
+	// Omitted marks benchmarks the submission did not enter (allowed;
+	// one of the two reasons §4.2.4 gives against a summary score).
+	Omitted bool
+}
+
+// BuildReport produces the per-benchmark report for a set of reviewed
+// submissions. Entries with compliance violations are excluded.
+func BuildReport(subs []*Submission) []ReportRow {
+	var rows []ReportRow
+	for _, sub := range subs {
+		violations := map[string]bool{}
+		for _, v := range Review(sub) {
+			violations[v.Benchmark] = true
+		}
+		entered := map[string]bool{}
+		scale := fmt.Sprintf("%d accel", sub.System.Accelerators)
+		if sub.System.Type == Cloud {
+			scale = fmt.Sprintf("cloud-scale %.1f", sub.System.CloudScale())
+		}
+		for _, e := range sub.Entries {
+			entered[e.Benchmark] = true
+			row := ReportRow{
+				Org: sub.Org, Division: sub.Division, Category: sub.Category,
+				System: sub.System.Name, Scale: scale, Benchmark: e.Benchmark,
+			}
+			if violations[e.Benchmark] {
+				row.Omitted = true
+			} else {
+				b, err := core.FindBenchmark(sub.Version, e.Benchmark)
+				if err == nil {
+					if score, err := e.Results.Score(b.RequiredRuns); err == nil {
+						row.Score = score
+					} else {
+						row.Omitted = true
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+		for _, id := range core.BenchmarkIDs(sub.Version) {
+			if !entered[id] {
+				rows = append(rows, ReportRow{
+					Org: sub.Org, Division: sub.Division, Category: sub.Category,
+					System: sub.System.Name, Scale: scale, Benchmark: id, Omitted: true,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// FormatReport renders the report as an aligned text table.
+func FormatReport(rows []ReportRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-7s %-10s %-14s %-18s %-32s %s\n",
+		"Org", "Div", "Category", "System", "Scale", "Benchmark", "Time-to-train")
+	for _, r := range rows {
+		score := "-"
+		if !r.Omitted {
+			score = r.Score.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&sb, "%-12s %-7s %-10s %-14s %-18s %-32s %s\n",
+			r.Org, r.Division, r.Category, r.System, r.Scale, r.Benchmark, score)
+	}
+	return sb.String()
+}
+
+// ValidCategoryTransition enforces the §4.2.2 Preview promise: a Preview
+// system must appear as Available by the later of 60 days or the next
+// round.
+func ValidCategoryTransition(prev, next Category) bool {
+	switch prev {
+	case Preview:
+		return next == Available
+	case Available:
+		return next == Available
+	case Research:
+		return true
+	}
+	return false
+}

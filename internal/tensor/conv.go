@@ -1,0 +1,235 @@
+package tensor
+
+import "fmt"
+
+// ConvOut returns the spatial output size for input size in, kernel k,
+// stride s, and symmetric zero padding p.
+func ConvOut(in, k, s, p int) int { return (in+2*p-k)/s + 1 }
+
+// Conv2D computes a direct 2-D convolution (cross-correlation, as in all DL
+// frameworks) over NCHW input x [N,C,H,W] with weights w [F,C,KH,KW] and
+// optional bias b [F] (nil for none). Output is [N,F,HO,WO].
+func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
+	if x.Rank() != 4 || w.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D requires rank-4 operands, got %v, %v", x.Shape, w.Shape))
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, c2, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if c != c2 {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch %v vs %v", x.Shape, w.Shape))
+	}
+	ho, wo := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	out := New(n, f, ho, wo)
+	for in := 0; in < n; in++ {
+		for of := 0; of < f; of++ {
+			bias := 0.0
+			if b != nil {
+				bias = b.Data[of]
+			}
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					s := bias
+					iy0 := oy*stride - pad
+					ix0 := ox*stride - pad
+					for ic := 0; ic < c; ic++ {
+						xBase := ((in*c + ic) * h) * wd
+						wBase := ((of*c + ic) * kh) * kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xRow := xBase + iy*wd
+							wRow := wBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								s += x.Data[xRow+ix] * w.Data[wRow+kx]
+							}
+						}
+					}
+					out.Data[((in*f+of)*ho+oy)*wo+ox] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes gradients of a Conv2D call: given upstream grad
+// dout [N,F,HO,WO], it returns (dx, dw, db) matching x, w, and bias shapes.
+// db is nil when hasBias is false.
+func Conv2DBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, db *Tensor) {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	ho, wo := dout.Shape[2], dout.Shape[3]
+	dx = New(x.Shape...)
+	dw = New(w.Shape...)
+	if hasBias {
+		db = New(f)
+	}
+	for in := 0; in < n; in++ {
+		for of := 0; of < f; of++ {
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					g := dout.Data[((in*f+of)*ho+oy)*wo+ox]
+					if g == 0 {
+						continue
+					}
+					if hasBias {
+						db.Data[of] += g
+					}
+					iy0 := oy*stride - pad
+					ix0 := ox*stride - pad
+					for ic := 0; ic < c; ic++ {
+						xBase := ((in*c + ic) * h) * wd
+						wBase := ((of*c + ic) * kh) * kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xRow := xBase + iy*wd
+							wRow := wBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								dx.Data[xRow+ix] += g * w.Data[wRow+kx]
+								dw.Data[wRow+kx] += g * x.Data[xRow+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, dw, db
+}
+
+// MaxPool2D computes max pooling over NCHW input with square window k and
+// stride s. It returns the pooled tensor and the flat argmax index (into
+// x.Data) of each output element, which MaxPool2DBackward consumes.
+func MaxPool2D(x *Tensor, k, s int) (*Tensor, []int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	ho, wo := ConvOut(h, k, s, 0), ConvOut(w, k, s, 0)
+	out := New(n, c, ho, wo)
+	arg := make([]int, out.Size())
+	oi := 0
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := ((in*c + ic) * h) * w
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					best := 0.0
+					bi := -1
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s + ky
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s + kx
+							if ix >= w {
+								continue
+							}
+							idx := base + iy*w + ix
+							if bi < 0 || x.Data[idx] > best {
+								best, bi = x.Data[idx], idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					arg[oi] = bi
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward scatters upstream grads through the argmax indices.
+func MaxPool2DBackward(xShape []int, arg []int, dout *Tensor) *Tensor {
+	dx := New(xShape...)
+	for i, g := range dout.Data {
+		if arg[i] >= 0 {
+			dx.Data[arg[i]] += g
+		}
+	}
+	return dx
+}
+
+// GlobalAvgPool2D averages each channel's spatial plane: [N,C,H,W] → [N,C].
+func GlobalAvgPool2D(x *Tensor) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := New(n, c)
+	plane := h * w
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := ((in*c + ic) * h) * w
+			s := 0.0
+			for p := 0; p < plane; p++ {
+				s += x.Data[base+p]
+			}
+			out.Data[in*c+ic] = s / float64(plane)
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool2DBackward spreads each channel grad uniformly over the plane.
+func GlobalAvgPool2DBackward(xShape []int, dout *Tensor) *Tensor {
+	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
+	dx := New(xShape...)
+	plane := h * w
+	inv := 1.0 / float64(plane)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			g := dout.Data[in*c+ic] * inv
+			base := ((in*c + ic) * h) * w
+			for p := 0; p < plane; p++ {
+				dx.Data[base+p] += g
+			}
+		}
+	}
+	return dx
+}
+
+// AvgPool2D computes average pooling with square window k and stride s.
+func AvgPool2D(x *Tensor, k, s int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	ho, wo := ConvOut(h, k, s, 0), ConvOut(w, k, s, 0)
+	out := New(n, c, ho, wo)
+	oi := 0
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := ((in*c + ic) * h) * w
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					s2, cnt := 0.0, 0
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s + ky
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s + kx
+							if ix >= w {
+								continue
+							}
+							s2 += x.Data[base+iy*w+ix]
+							cnt++
+						}
+					}
+					out.Data[oi] = s2 / float64(cnt)
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for 2-D tensors a [n,k] and b [k,m].
+// The k-inner loop is ordered (i,k,j) so the innermost traversal is
+// sequential over both b and the output row, which is the standard
+// cache-friendly form for row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	n, k := a.Shape[0], a.Shape[1]
+	k2, m := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(n, m)
+	for i := 0; i < n; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*m : (i+1)*m]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue
+			}
+			br := b.Data[p*m : (p+1)*m]
+			for j := 0; j < m; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransA returns aᵀ·b for a [k,n] and b [k,m], producing [n,m].
+// Used by backward passes: dW = xᵀ·dy.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 operands")
+	}
+	k, n := a.Shape[0], a.Shape[1]
+	k2, m := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(n, m)
+	for p := 0; p < k; p++ {
+		ar := a.Data[p*n : (p+1)*n]
+		br := b.Data[p*m : (p+1)*m]
+		for i := 0; i < n; i++ {
+			av := ar[i]
+			if av == 0 {
+				continue
+			}
+			cr := c.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB returns a·bᵀ for a [n,k] and b [m,k], producing [n,m].
+// Used by backward passes: dx = dy·Wᵀ.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 operands")
+	}
+	n, k := a.Shape[0], a.Shape[1]
+	m, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(n, m)
+	for i := 0; i < n; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ar[p] * br[p]
+			}
+			cr[j] = s
+		}
+	}
+	return c
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose2D requires rank 2")
+	}
+	n, m := a.Shape[0], a.Shape[1]
+	c := New(m, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			c.Data[j*n+i] = a.Data[i*m+j]
+		}
+	}
+	return c
+}
+
+// MatVec returns a·x for a [n,m] and x [m].
+func MatVec(a *Tensor, x []float64) []float64 {
+	if a.Rank() != 2 || a.Shape[1] != len(x) {
+		panic("tensor: MatVec shape mismatch")
+	}
+	n, m := a.Shape[0], a.Shape[1]
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := a.Data[i*m : (i+1)*m]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,340 @@
+// Package tensor implements dense row-major float64 tensors and the compute
+// kernels (matmul, convolution, pooling) that the autograd and nn packages
+// build on. It is the lowest substrate of the MLPerf reproduction: the role
+// PyTorch/TensorFlow dense kernels play for the paper's reference
+// implementations.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major array of float64 with an explicit shape.
+// The zero value is not usable; construct with New, Zeros, or FromSlice.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// numel returns the product of dims, panicking on negative sizes.
+func numel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, numel(shape))}
+}
+
+// Zeros is an alias for New, provided for call-site readability.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Ones returns a tensor filled with 1.
+func Ones(shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = 1
+	}
+	return t
+}
+
+// Full returns a tensor filled with v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+// It panics if len(data) does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	if len(data) != numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Randn fills a new tensor with Gaussian samples scaled by std.
+func Randn(r *RNG, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.Norm() * std
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with uniform samples in [lo, hi).
+func RandUniform(r *RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.Uniform(lo, hi)
+	}
+	return t
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a copy-free view with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if numel(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index %v for shape %v", idx, t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Copy copies o's data into t. Shapes must match in size.
+func (t *Tensor) Copy(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Copy size mismatch")
+	}
+	copy(t.Data, o.Data)
+}
+
+// AddInPlace adds o to t elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// AxpyInPlace performs t += alpha * o.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AxpyInPlace size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Add returns t + o elementwise.
+func Add(a, b *Tensor) *Tensor {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Add size mismatch")
+	}
+	c := New(a.Shape...)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return c
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Sub size mismatch")
+	}
+	c := New(a.Shape...)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return c
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Mul size mismatch")
+	}
+	c := New(a.Shape...)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return c
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float64) *Tensor {
+	c := New(a.Shape...)
+	for i := range a.Data {
+		c.Data[i] = s * a.Data[i]
+	}
+	return c
+}
+
+// Apply returns f applied elementwise.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	c := New(a.Shape...)
+	for i, v := range a.Data {
+		c.Data[i] = f(v)
+	}
+	return c
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// ArgMaxRows returns, for a 2-D tensor, the argmax of each row.
+func (t *Tensor) ArgMaxRows() []int {
+	if t.Rank() != 2 {
+		panic("tensor: ArgMaxRows requires rank 2")
+	}
+	n, m := t.Shape[0], t.Shape[1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*m : (i+1)*m]
+		best, bi := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Norm2 returns the L2 norm of all elements.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Row returns a view of row i of a 2-D tensor.
+func (t *Tensor) Row(i int) []float64 {
+	if t.Rank() != 2 {
+		panic("tensor: Row requires rank 2")
+	}
+	m := t.Shape[1]
+	return t.Data[i*m : (i+1)*m]
+}
+
+// Equal reports elementwise equality within tolerance eps.
+func Equal(a, b *Tensor, eps float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v(n=%d)", t.Shape, len(t.Data))
+}
