@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test test-short bench bench-kernels
+
+all: check
+
+# The CI gate: formatting, static checks, a full build, and the fast tests.
+check: fmt vet build test-short
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the ~45s model-convergence tests.
+test:
+	$(GO) test ./...
+
+# Fast suite (< 10s): convergence tests run at reduced epoch budgets.
+test-short:
+	$(GO) test -short ./...
+
+# Every table/figure benchmark plus the kernel microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Just the serial-vs-parallel substrate comparisons.
+bench-kernels:
+	$(GO) test -bench='MatMul|Conv2D|RunSet' -benchmem -run='^$$' .

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mcts"
 	"repro/internal/models"
 	"repro/internal/opt"
+	"repro/internal/parallel"
 	"repro/internal/precision"
 	"repro/internal/tensor"
 )
@@ -344,6 +345,108 @@ func BenchmarkAblationMiniGoSims(b *testing.B) {
 }
 
 // --- Substrate microbenchmarks ---
+
+// --- Serial vs parallel kernels (the internal/parallel subsystem) ---
+//
+// Pairs of benchmarks pinning the worker pool to 1 (serial fallback) vs
+// GOMAXPROCS, at the shapes the benchmark models exercise, so the
+// substrate speedup is visible in BENCH trajectories. Outputs are
+// bit-identical between the two (see internal/tensor/parallel_test.go);
+// only the wall time may differ.
+
+// withPoolWorkers pins the kernel pool for one benchmark run.
+func withPoolWorkers(b *testing.B, n int) {
+	b.Helper()
+	old := parallel.Workers()
+	parallel.SetWorkers(n)
+	b.Cleanup(func() { parallel.SetWorkers(old) })
+}
+
+func benchMatMulAt(b *testing.B, workers int) {
+	withPoolWorkers(b, workers)
+	rng := tensor.NewRNG(1)
+	// Model-scale GEMM: a batch of 256 activations against a 256x256
+	// weight block (the dense layers of the scaled NCF/Transformer at
+	// production width).
+	x := tensor.Randn(rng, 1, 256, 256)
+	y := tensor.Randn(rng, 1, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulModelSerial(b *testing.B)   { benchMatMulAt(b, 1) }
+func BenchmarkMatMulModelParallel(b *testing.B) { benchMatMulAt(b, 0) }
+
+func benchMatMulTransAAt(b *testing.B, workers int) {
+	withPoolWorkers(b, workers)
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 256, 256)
+	y := tensor.Randn(rng, 1, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTransA(x, y)
+	}
+}
+
+func BenchmarkMatMulTransASerial(b *testing.B)   { benchMatMulTransAAt(b, 1) }
+func BenchmarkMatMulTransAParallel(b *testing.B) { benchMatMulTransAAt(b, 0) }
+
+func benchConvAt(b *testing.B, workers int) {
+	withPoolWorkers(b, workers)
+	rng := tensor.NewRNG(2)
+	// The ResNet stem shape: a training batch of 16x16 images through a
+	// 3x3 filter bank.
+	x := tensor.Randn(rng, 1, 8, 8, 16, 16)
+	w := tensor.Randn(rng, 1, 16, 8, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2D(x, w, nil, 1, 1)
+	}
+}
+
+func BenchmarkConv2DSerial(b *testing.B)   { benchConvAt(b, 1) }
+func BenchmarkConv2DParallel(b *testing.B) { benchConvAt(b, 0) }
+
+func benchConvBackwardAt(b *testing.B, workers int) {
+	withPoolWorkers(b, workers)
+	rng := tensor.NewRNG(3)
+	x := tensor.Randn(rng, 1, 8, 8, 16, 16)
+	w := tensor.Randn(rng, 1, 16, 8, 3, 3)
+	dout := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DBackward(x, w, dout, 1, 1, true)
+	}
+}
+
+func BenchmarkConv2DBackwardSerial(b *testing.B)   { benchConvBackwardAt(b, 1) }
+func BenchmarkConv2DBackwardParallel(b *testing.B) { benchConvBackwardAt(b, 0) }
+
+func BenchmarkConv2DIm2col(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	x := tensor.Randn(rng, 1, 8, 8, 16, 16)
+	w := tensor.Randn(rng, 1, 16, 8, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DIm2col(x, w, nil, 1, 1)
+	}
+}
+
+func benchRunSetAt(b *testing.B, workers int) {
+	bench, err := core.FindBenchmark(core.V05, "recommendation")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunSet(bench, core.RunSetConfig{BaseSeed: 1, Runs: 4, Workers: workers, MaxEpochs: 2})
+	}
+}
+
+func BenchmarkRunSetSerial(b *testing.B)     { benchRunSetAt(b, 1) }
+func BenchmarkRunSetConcurrent(b *testing.B) { benchRunSetAt(b, 0) }
 
 func BenchmarkMatMul64(b *testing.B) {
 	rng := tensor.NewRNG(1)

@@ -7,6 +7,7 @@
 //	mlperf -list
 //	mlperf -benchmark recommendation -runs 3 -seed 1
 //	mlperf -benchmark all -version v0.6
+//	mlperf -benchmark recommendation -runs 10 -parallel -workers 8
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -27,8 +29,12 @@ func main() {
 		maxEpochs = flag.Int("max-epochs", 0, "override the benchmark's epoch cap (0 = default)")
 		logs      = flag.Bool("mllog", false, "stream MLLOG lines to stdout")
 		list      = flag.Bool("list", false, "list the suite (Table 1) and exit")
+		workers   = flag.Int("workers", 0, "worker-pool size for tensor kernels and concurrent runs (0 = GOMAXPROCS, 1 = serial)")
+		par       = flag.Bool("parallel", false, "execute each benchmark's runs concurrently: quality results match serial exactly, but wall-clock times-to-train reflect core contention, and output (including -mllog) is buffered until the run set completes")
 	)
 	flag.Parse()
+
+	parallel.SetWorkers(*workers)
 
 	v := core.Version(*version)
 	if v != core.V05 && v != core.V06 {
@@ -58,17 +64,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		rs := core.ResultSet{Benchmark: id}
-		for i := 0; i < *runs; i++ {
-			cfg := core.RunConfig{Seed: *seed + uint64(i), MaxEpochs: *maxEpochs}
+		var rs core.ResultSet
+		if *par {
+			cfg := core.RunSetConfig{BaseSeed: *seed, Runs: *runs, Workers: *workers, MaxEpochs: *maxEpochs}
 			if *logs {
 				cfg.LogWriter = os.Stdout
 			}
-			r := core.Run(b, cfg)
-			fmt.Println(r.String())
-			if err := rs.AddRun(r); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			rs = core.RunSet(b, cfg)
+			for _, r := range rs.Runs {
+				fmt.Println(r.String())
+			}
+		} else {
+			rs = core.ResultSet{Benchmark: id}
+			for i := 0; i < *runs; i++ {
+				cfg := core.RunConfig{Seed: *seed + uint64(i), MaxEpochs: *maxEpochs}
+				if *logs {
+					cfg.LogWriter = os.Stdout
+				}
+				r := core.Run(b, cfg)
+				fmt.Println(r.String())
+				if err := rs.AddRun(r); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 			}
 		}
 		if times := rs.ConvergedTimes(); len(times) >= 3 {

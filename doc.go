@@ -6,6 +6,7 @@
 // The package tree:
 //
 //	internal/core       — suite, runner, timing rules, aggregation (the paper's contribution)
+//	internal/parallel   — worker pool + sharded loops (deterministic parallel substrate)
 //	internal/tensor     — dense tensors + deterministic RNG
 //	internal/autograd   — tape-based reverse-mode autodiff
 //	internal/nn         — layer library (conv, BN, LSTM, attention, ...)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // Figure4Row is one bar of Figure 4: the v0.5→v0.6 speedup of the fastest
@@ -15,24 +17,37 @@ type Figure4Row struct {
 	Speedup   float64
 }
 
-// Figure4 computes the 16-chip speedups for every benchmark.
+// Figure4 computes the 16-chip speedups for every benchmark. The per-
+// workload batch sweeps are independent, so they run concurrently on the
+// worker pool; rows keep Table-1 order because each workload writes its
+// own index.
 func Figure4() []Figure4Row {
 	v05, v06 := Rounds()
 	chip, net := ReferenceChip(), ReferenceNetwork()
 	sys := System{Name: "sim-16x", Chips: 16, Chip: chip, Network: net}
-	var rows []Figure4Row
-	for _, w := range WorkloadModels() {
-		_, t05, err05 := BestBatch(sys, w, v05)
-		_, t06, err06 := BestBatch(sys, w, v06)
-		if err05 != nil || err06 != nil {
-			continue
+	ws := WorkloadModels()
+	cells := make([]*Figure4Row, len(ws))
+	parallel.For(len(ws), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := ws[i]
+			_, t05, err05 := BestBatch(sys, w, v05)
+			_, t06, err06 := BestBatch(sys, w, v06)
+			if err05 != nil || err06 != nil {
+				continue
+			}
+			cells[i] = &Figure4Row{
+				Benchmark: w.ID,
+				V05Time:   t05,
+				V06Time:   t06,
+				Speedup:   float64(t05) / float64(t06),
+			}
 		}
-		rows = append(rows, Figure4Row{
-			Benchmark: w.ID,
-			V05Time:   t05,
-			V06Time:   t06,
-			Speedup:   float64(t05) / float64(t06),
-		})
+	})
+	var rows []Figure4Row
+	for _, c := range cells {
+		if c != nil {
+			rows = append(rows, *c)
+		}
 	}
 	return rows
 }
@@ -48,25 +63,36 @@ type Figure5Row struct {
 	V06Time   time.Duration
 }
 
-// Figure5 computes the best-overall-scale movements for every benchmark.
+// Figure5 computes the best-overall-scale movements for every benchmark,
+// sweeping the workloads concurrently as in Figure4.
 func Figure5() []Figure5Row {
 	v05, v06 := Rounds()
 	chip, net := ReferenceChip(), ReferenceNetwork()
-	var rows []Figure5Row
-	for _, w := range WorkloadModels() {
-		s05, _, t05 := BestScale(chip, net, w, v05)
-		s06, _, t06 := BestScale(chip, net, w, v06)
-		if s05.Chips == 0 || s06.Chips == 0 {
-			continue
+	ws := WorkloadModels()
+	cells := make([]*Figure5Row, len(ws))
+	parallel.For(len(ws), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := ws[i]
+			s05, _, t05 := BestScale(chip, net, w, v05)
+			s06, _, t06 := BestScale(chip, net, w, v06)
+			if s05.Chips == 0 || s06.Chips == 0 {
+				continue
+			}
+			cells[i] = &Figure5Row{
+				Benchmark: w.ID,
+				V05Chips:  s05.Chips,
+				V06Chips:  s06.Chips,
+				Increase:  float64(s06.Chips) / float64(s05.Chips),
+				V05Time:   t05,
+				V06Time:   t06,
+			}
 		}
-		rows = append(rows, Figure5Row{
-			Benchmark: w.ID,
-			V05Chips:  s05.Chips,
-			V06Chips:  s06.Chips,
-			Increase:  float64(s06.Chips) / float64(s05.Chips),
-			V05Time:   t05,
-			V06Time:   t06,
-		})
+	})
+	var rows []Figure5Row
+	for _, c := range cells {
+		if c != nil {
+			rows = append(rows, *c)
+		}
 	}
 	return rows
 }

@@ -19,6 +19,24 @@ func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
 // Now implements Clock.
 func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
 
+// TickClock advances by a fixed tick on every Now call. Because a run
+// reads the clock a schedule-independent number of times, TickClock makes
+// TimeToTrain a pure function of the run's work — the deterministic timing
+// source the concurrent run-set executor is tested against.
+type TickClock struct {
+	t    time.Duration
+	tick time.Duration
+}
+
+// NewTickClock returns a clock advancing by tick per reading.
+func NewTickClock(tick time.Duration) *TickClock { return &TickClock{tick: tick} }
+
+// Now implements Clock.
+func (c *TickClock) Now() time.Duration {
+	c.t += c.tick
+	return c.t
+}
+
 // SimClock is a manually advanced clock.
 type SimClock struct{ t time.Duration }
 

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"io"
+
+	"repro/internal/parallel"
+)
+
+// RunSetConfig controls the concurrent execution of a benchmark's §3.2.2
+// run set. Every run is fully isolated: it gets its own seed (BaseSeed +
+// run index, the convention cmd/mlperf always used), its own Clock from
+// NewClock, and its own mlog.Logger, so training outcomes (epochs, quality
+// curves, convergence) are independent of goroutine scheduling and
+// bit-identical to executing the runs serially. Timing is bit-identical
+// too when NewClock supplies deterministic clocks (e.g. TickClock); with
+// the default wall clocks, concurrent runs contend for cores, so measured
+// times-to-train differ from a serial execution's.
+type RunSetConfig struct {
+	// BaseSeed is the seed of run 0; run i uses BaseSeed + i.
+	BaseSeed uint64
+	// Runs is the number of timed runs; 0 selects the benchmark's
+	// RequiredRuns (5 for vision, 10 otherwise).
+	Runs int
+	// Workers bounds the number of concurrently executing runs: 1 runs
+	// them serially on the calling goroutine, 0 selects GOMAXPROCS.
+	// Worker goroutines share the process-wide kernel pool, so runs=N
+	// with deep tensor parallelism oversubscribes gracefully rather than
+	// deadlocking (both levels are fork-join).
+	Workers int
+	// NewClock builds run i's clock; nil selects a fresh wall clock per
+	// run. Tests pass NewTickClock-backed factories for deterministic
+	// timing.
+	NewClock func(run int) Clock
+	// LogWriter receives every run's MLLOG stream. Concurrent runs buffer
+	// their lines and flush them in run order after the set completes, so
+	// the combined log is identical to a serial execution's.
+	LogWriter io.Writer
+	// MaxEpochs and EvalEvery are forwarded to each RunConfig.
+	MaxEpochs int
+	EvalEvery int
+}
+
+// RunSet executes a benchmark's run set, concurrently when cfg.Workers
+// permits, and returns the runs in run-index order.
+func RunSet(b Benchmark, cfg RunSetConfig) ResultSet {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = b.RequiredRuns
+	}
+	results := make([]RunResult, runs)
+	var bufs []bytes.Buffer
+	if cfg.LogWriter != nil {
+		bufs = make([]bytes.Buffer, runs)
+	}
+	pool := parallel.NewPool(cfg.Workers)
+	pool.For(runs, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rc := RunConfig{
+				Seed:      cfg.BaseSeed + uint64(i),
+				MaxEpochs: cfg.MaxEpochs,
+				EvalEvery: cfg.EvalEvery,
+			}
+			if cfg.NewClock != nil {
+				rc.Clock = cfg.NewClock(i)
+			}
+			if cfg.LogWriter != nil {
+				rc.LogWriter = &bufs[i]
+			}
+			results[i] = Run(b, rc)
+		}
+	})
+	rs := ResultSet{Benchmark: b.ID}
+	for i := range results {
+		rs.Runs = append(rs.Runs, results[i])
+		if cfg.LogWriter != nil {
+			cfg.LogWriter.Write(bufs[i].Bytes())
+		}
+	}
+	return rs
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+)
+
+// seededWorkload converges after a seed-dependent number of epochs, so a
+// run set over it produces distinct times per run — enough structure for
+// the olympic mean to be a real aggregation, while staying deterministic.
+type seededWorkload struct {
+	epoch int
+	rate  float64
+}
+
+func (f *seededWorkload) Name() string { return "seeded" }
+func (f *seededWorkload) TrainEpoch() float64 {
+	f.epoch++
+	return 1.0 / float64(f.epoch)
+}
+func (f *seededWorkload) Evaluate() float64 { return f.rate * float64(f.epoch) }
+func (f *seededWorkload) Epoch() int        { return f.epoch }
+
+func seededBenchmark() Benchmark {
+	return Benchmark{
+		ID: "seeded", Target: 1.0, RequiredRuns: 10, MaxEpochs: 64,
+		New: func(seed uint64) models.Workload {
+			// Rates in [0.05, 0.20]: converge in 5..20 epochs.
+			return &seededWorkload{rate: 0.05 + 0.01*float64(seed%16)}
+		},
+	}
+}
+
+// runSetAt executes the §3.2.2 run set at the given worker count with
+// deterministic per-run clocks and a captured log stream.
+func runSetAt(b Benchmark, workers int) (ResultSet, string) {
+	var log bytes.Buffer
+	rs := RunSet(b, RunSetConfig{
+		BaseSeed:  1,
+		Workers:   workers,
+		NewClock:  func(run int) Clock { return NewTickClock(time.Millisecond) },
+		LogWriter: &log,
+	})
+	return rs, log.String()
+}
+
+func TestRunSetConcurrentMatchesSerial(t *testing.T) {
+	b := seededBenchmark()
+	serial, serialLog := runSetAt(b, 1)
+	if len(serial.Runs) != 10 {
+		t.Fatalf("run set size %d, want RequiredRuns=10", len(serial.Runs))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		conc, concLog := runSetAt(b, workers)
+		if len(conc.Runs) != len(serial.Runs) {
+			t.Fatalf("workers=%d: %d runs vs %d", workers, len(conc.Runs), len(serial.Runs))
+		}
+		for i := range conc.Runs {
+			cr, sr := conc.Runs[i], serial.Runs[i]
+			if cr.Seed != sr.Seed || cr.Epochs != sr.Epochs || cr.Converged != sr.Converged ||
+				cr.FinalQuality != sr.FinalQuality || cr.TimeToTrain != sr.TimeToTrain {
+				t.Fatalf("workers=%d run %d diverged: %+v vs %+v", workers, i, cr, sr)
+			}
+			if len(cr.QualityCurve) != len(sr.QualityCurve) {
+				t.Fatalf("workers=%d run %d curve length", workers, i)
+			}
+			for j := range cr.QualityCurve {
+				if cr.QualityCurve[j] != sr.QualityCurve[j] {
+					t.Fatalf("workers=%d run %d eval %d: %v vs %v",
+						workers, i, j, cr.QualityCurve[j], sr.QualityCurve[j])
+				}
+			}
+		}
+		// The official aggregate must be bit-identical too.
+		ss, err1 := serial.Score(b.RequiredRuns)
+		cs, err2 := conc.Score(b.RequiredRuns)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("workers=%d: score errors %v / %v", workers, err1, err2)
+		}
+		if ss != cs {
+			t.Fatalf("workers=%d: olympic mean %v vs serial %v", workers, cs, ss)
+		}
+		// And the combined MLLOG stream must be byte-identical: concurrent
+		// runs buffer their lines and flush in run order.
+		if concLog != serialLog {
+			t.Fatalf("workers=%d: log stream differs from serial execution", workers)
+		}
+	}
+}
+
+func TestRunSetDistinctSeedsProduceDistinctRuns(t *testing.T) {
+	rs, _ := runSetAt(seededBenchmark(), 4)
+	distinct := map[time.Duration]bool{}
+	for _, r := range rs.Runs {
+		if !r.Converged {
+			t.Fatalf("seeded workload must converge: %+v", r)
+		}
+		distinct[r.TimeToTrain] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("per-run seeds should vary times-to-train, got %d distinct", len(distinct))
+	}
+}
+
+func TestRunSetDefaultsToRequiredRuns(t *testing.T) {
+	b := seededBenchmark()
+	b.RequiredRuns = 5
+	rs := RunSet(b, RunSetConfig{BaseSeed: 1, Workers: 2,
+		NewClock: func(int) Clock { return NewTickClock(time.Millisecond) }})
+	if len(rs.Runs) != 5 {
+		t.Fatalf("defaulted run count %d, want 5", len(rs.Runs))
+	}
+	if !rs.Complete(5) {
+		t.Fatal("all runs converge, set must be complete")
+	}
+}
+
+func TestRunSetExplicitRunsOverridesRequired(t *testing.T) {
+	rs := RunSet(seededBenchmark(), RunSetConfig{BaseSeed: 1, Runs: 3, Workers: 2,
+		NewClock: func(int) Clock { return NewTickClock(time.Millisecond) }})
+	if len(rs.Runs) != 3 {
+		t.Fatalf("run count %d, want 3", len(rs.Runs))
+	}
+}
+
+// TestRunSetRealWorkloadConcurrent drives the executor through a real
+// training workload (NCF at a tiny epoch budget) and checks concurrent
+// quality trajectories match the serial ones exactly — the end-to-end
+// isolation guarantee (per-run RNG, clock, logger).
+func TestRunSetRealWorkloadConcurrent(t *testing.T) {
+	b, err := FindBenchmark(V05, "recommendation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunSetConfig{BaseSeed: 7, Runs: 4, MaxEpochs: 2,
+		NewClock: func(int) Clock { return NewTickClock(time.Millisecond) }}
+	cfg.Workers = 1
+	serial := RunSet(b, cfg)
+	cfg.Workers = 4
+	conc := RunSet(b, cfg)
+	for i := range serial.Runs {
+		sr, cr := serial.Runs[i], conc.Runs[i]
+		if sr.FinalQuality != cr.FinalQuality || sr.Epochs != cr.Epochs {
+			t.Fatalf("run %d: concurrent %v/%d vs serial %v/%d",
+				i, cr.FinalQuality, cr.Epochs, sr.FinalQuality, sr.Epochs)
+		}
+	}
+}

@@ -208,23 +208,33 @@ func TestMaskTargetGrid(t *testing.T) {
 }
 
 // --- workload integration tests (short budgets: quality must improve) ---
+//
+// The full-budget variants train long enough to make convergence claims
+// (~45s for the package). Under -short every training loop shrinks to a
+// couple of epochs with correspondingly weaker assertions — the wiring is
+// still exercised end to end, but the slow convergence claims are checked
+// only in full runs.
 
 func TestImageClassificationLearns(t *testing.T) {
+	epochs, margin := 4, 0.05
+	if testing.Short() {
+		epochs, margin = 2, 0.0
+	}
 	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
 	w := NewImageClassification(ds, DefaultImageHParams(), 42)
 	before := w.Evaluate()
 	var lastLoss float64
-	for e := 0; e < 4; e++ {
+	for e := 0; e < epochs; e++ {
 		lastLoss = w.TrainEpoch()
 	}
 	after := w.Evaluate()
-	if after <= before+0.05 {
+	if after <= before+margin {
 		t.Fatalf("accuracy should improve: %.3f -> %.3f", before, after)
 	}
 	if lastLoss > 2.0 {
 		t.Fatalf("loss should fall below chance level: %v", lastLoss)
 	}
-	if w.Epoch() != 4 {
+	if w.Epoch() != epochs {
 		t.Fatal("epoch accounting")
 	}
 }
@@ -244,7 +254,25 @@ func TestRecommendationConvergesToTarget(t *testing.T) {
 	}
 }
 
+// shortMTConfig is a quarter-size corpus: big enough for the training loss
+// to fall epoch over epoch, small enough that a -short epoch is ~0.25s.
+func shortMTConfig() datasets.MTConfig {
+	cfg := datasets.DefaultMTConfig()
+	cfg.TrainN, cfg.ValN = 192, 32
+	return cfg
+}
+
 func TestTransformerLearnsTransduction(t *testing.T) {
+	if testing.Short() {
+		ds := datasets.GenerateMT(shortMTConfig())
+		w := NewTranslation(ds, DefaultTransformerHParams(), 42)
+		l0 := w.TrainEpoch()
+		l1 := w.TrainEpoch()
+		if l1 >= l0 {
+			t.Fatalf("transformer loss should fall: %v -> %v", l0, l1)
+		}
+		return
+	}
 	ds := datasets.GenerateMT(datasets.DefaultMTConfig())
 	w := NewTranslation(ds, DefaultTransformerHParams(), 42)
 	for e := 0; e < 5; e++ {
@@ -256,6 +284,16 @@ func TestTransformerLearnsTransduction(t *testing.T) {
 }
 
 func TestGNMTLearnsTransduction(t *testing.T) {
+	if testing.Short() {
+		ds := datasets.GenerateMT(shortMTConfig())
+		w := NewRNNTranslation(ds, DefaultGNMTHParams(), 42)
+		l0 := w.TrainEpoch()
+		l1 := w.TrainEpoch()
+		if l1 >= l0 {
+			t.Fatalf("GNMT loss should fall: %v -> %v", l0, l1)
+		}
+		return
+	}
 	ds := datasets.GenerateMT(datasets.DefaultMTConfig())
 	w := NewRNNTranslation(ds, DefaultGNMTHParams(), 42)
 	for e := 0; e < 5; e++ {
@@ -267,18 +305,22 @@ func TestGNMTLearnsTransduction(t *testing.T) {
 }
 
 func TestSSDLearns(t *testing.T) {
+	epochs, shrink := 8, 2.0
+	if testing.Short() {
+		epochs, shrink = 2, 1.0 // loss must at least fall
+	}
 	ds := datasets.GenerateDetection(datasets.DefaultDetConfig())
 	w := NewObjectDetection(ds, DefaultDetHParams(), 42)
 	var loss0, lossN float64
-	for e := 0; e < 8; e++ {
+	for e := 0; e < epochs; e++ {
 		l := w.TrainEpoch()
 		if e == 0 {
 			loss0 = l
 		}
 		lossN = l
 	}
-	if lossN >= loss0/2 {
-		t.Fatalf("detection loss should halve: %v -> %v", loss0, lossN)
+	if lossN >= loss0/shrink {
+		t.Fatalf("detection loss should shrink %.0fx: %v -> %v", shrink, loss0, lossN)
 	}
 	if ap := w.Evaluate(); ap < 0 || ap > 1 {
 		t.Fatalf("mAP out of range: %v", ap)
@@ -288,6 +330,14 @@ func TestSSDLearns(t *testing.T) {
 func TestMaskRCNNReachesBothTargets(t *testing.T) {
 	ds := datasets.GenerateDetection(datasets.DefaultDetConfig())
 	w := NewInstanceSegmentation(ds, DefaultMaskHParams(), 42)
+	if testing.Short() {
+		l0 := w.TrainEpoch()
+		l1 := w.TrainEpoch()
+		if l1 >= l0 {
+			t.Fatalf("Mask R-CNN loss should fall: %v -> %v", l0, l1)
+		}
+		return
+	}
 	reached := false
 	for e := 0; e < 20 && !reached; e++ {
 		w.TrainEpoch()
@@ -304,6 +354,9 @@ func TestMaskRCNNReachesBothTargets(t *testing.T) {
 }
 
 func TestMiniGoImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MiniGo self-play needs ~12 epochs (~19s) to show reliable improvement (§2.2.3 variance)")
+	}
 	w := NewReinforcementLearning(DefaultMiniGoHParams(), 42)
 	if len(w.evalFeats) == 0 {
 		t.Fatal("oracle reference positions missing")
@@ -336,6 +389,9 @@ func TestWorkloadSeedsDiverge(t *testing.T) {
 }
 
 func TestPrecisionPolicyDegradesTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Figure-1 comparison needs 4 epochs of two models (~3.5s)")
+	}
 	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
 	full := NewImageClassification(ds, DefaultImageHParams(), 7)
 	hpT := DefaultImageHParams()
@@ -358,7 +414,12 @@ func ternaryPolicy() precision.Policy {
 
 func TestMiniGoPredictOneMatchesBatchEval(t *testing.T) {
 	w := NewReinforcementLearning(DefaultMiniGoHParams(), 11)
-	w.TrainEpoch()
+	// The batch/single consistency property holds for any weights; the
+	// self-play epoch (~1.6s) just makes them non-trivial, so skip it
+	// under -short.
+	if !testing.Short() {
+		w.TrainEpoch()
+	}
 	s := w.HP.BoardSize
 	// Batch evaluation and single-position prediction must agree.
 	b := len(w.evalFeats)

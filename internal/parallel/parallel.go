@@ -1,0 +1,159 @@
+// Package parallel is the shared worker-pool substrate for the compute
+// kernels and the run-set executor. It shards index ranges over a bounded
+// number of goroutines (sized by GOMAXPROCS unless overridden), the software
+// analogue of the data-parallel accelerator pools MLPerf entries run on.
+//
+// Determinism contract: For/ForCost split [0,n) into contiguous shards and
+// every index is processed by exactly one shard, so a body that writes only
+// to outputs owned by its indices — and accumulates each output element in
+// the same order as the serial loop — produces bit-identical results at
+// every worker count. All kernels in internal/tensor and the executor in
+// internal/core are written against this contract.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallelCost is the approximate floating-point-op count below which
+// forking goroutines costs more than it saves; ForCost runs such loops
+// inline on the calling goroutine.
+const minParallelCost = 1 << 15
+
+// Pool bounds the degree of parallelism for sharded loops. Pools are
+// fork-join: For spawns at most Workers goroutines per call and waits for
+// them, so nested and concurrent calls are safe (inner calls simply add
+// goroutines; the scheduler multiplexes them over the same cores).
+type Pool struct {
+	workers atomic.Int32
+}
+
+// NewPool returns a pool running at most workers goroutines per loop.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	p.SetWorkers(workers)
+	return p
+}
+
+// SetWorkers resizes the pool; n <= 0 selects GOMAXPROCS. 1 forces every
+// loop to run serially on the calling goroutine.
+func (p *Pool) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.workers.Store(int32(n))
+}
+
+// Workers returns the pool's current degree of parallelism.
+func (p *Pool) Workers() int { return int(p.workers.Load()) }
+
+// For splits [0, n) into contiguous chunks and runs body over them on up to
+// Workers goroutines, returning when all chunks complete. body(lo, hi)
+// must touch only outputs owned by indices [lo, hi). With 1 worker (or
+// n <= 1) it degrades to body(0, n) inline — the serial fallback.
+func (p *Pool) For(n int, body func(lo, hi int)) {
+	p.forChunked(n, 1, body)
+}
+
+// ForCost is For with a per-item cost hint (roughly float ops per index):
+// loops whose total cost is too small to amortize goroutine forking run
+// inline. Kernels use it so tiny tensors never pay parallel overhead.
+func (p *Pool) ForCost(n int, itemCost float64, body func(lo, hi int)) {
+	grain := 1
+	if itemCost > 0 {
+		grain = int(minParallelCost / itemCost)
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p.forChunked(n, grain, body)
+}
+
+// forChunked is the shared implementation: chunks of at least grain
+// indices are handed to workers through an atomic cursor.
+func (p *Pool) forChunked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w <= 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	// Aim for a few chunks per worker so uneven shards load-balance, but
+	// never drop below the cost-derived grain.
+	if c := n / (4 * w); c > grain {
+		grain = c
+	}
+	chunks := (n + grain - 1) / grain
+	if w > chunks {
+		w = chunks
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1) - 1)
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Worth reports whether a loop of the given total cost (roughly float
+// ops) is worth parallelizing on this pool: callers with a cheaper serial
+// algorithm (e.g. the fused single-pass convolution backward) use it to
+// choose between the serial and sharded formulations.
+func (p *Pool) Worth(totalCost float64) bool {
+	return p.Workers() > 1 && totalCost >= minParallelCost
+}
+
+// Do runs the given functions concurrently on up to Workers goroutines and
+// waits for all of them — heterogeneous fork-join for coarse tasks.
+func (p *Pool) Do(fns ...func()) {
+	p.For(len(fns), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}
+
+// defaultPool is the process-wide pool the tensor kernels and figure
+// generators draw from; cmd/mlperf's -workers flag resizes it.
+var defaultPool = NewPool(0)
+
+// Default returns the process-wide pool.
+func Default() *Pool { return defaultPool }
+
+// SetWorkers resizes the process-wide pool; n <= 0 selects GOMAXPROCS.
+func SetWorkers(n int) { defaultPool.SetWorkers(n) }
+
+// Workers returns the process-wide pool's degree of parallelism.
+func Workers() int { return defaultPool.Workers() }
+
+// For runs a sharded loop on the process-wide pool.
+func For(n int, body func(lo, hi int)) { defaultPool.For(n, body) }
+
+// ForCost runs a cost-hinted sharded loop on the process-wide pool.
+func ForCost(n int, itemCost float64, body func(lo, hi int)) {
+	defaultPool.ForCost(n, itemCost, body)
+}
+
+// Worth reports whether a loop of the given total cost is worth
+// parallelizing on the process-wide pool.
+func Worth(totalCost float64) bool { return defaultPool.Worth(totalCost) }

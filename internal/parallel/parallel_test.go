@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 5, 64, 1000} {
+			hits := make([]int32, n)
+			p.For(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad shard [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForCostRunsTinyLoopsInline(t *testing.T) {
+	p := NewPool(8)
+	// A loop whose total cost is far below the fork threshold must run on
+	// the calling goroutine as a single body(0, n) shard.
+	calls := 0
+	p.ForCost(16, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 16 {
+			t.Fatalf("inline shard [%d,%d), want [0,16)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("tiny loop forked %d shards", calls)
+	}
+}
+
+func TestSerialPoolRunsInline(t *testing.T) {
+	p := NewPool(1)
+	var inBody bool
+	p.For(1000, func(lo, hi int) {
+		inBody = true
+		if lo != 0 || hi != 1000 {
+			t.Fatalf("serial pool shard [%d,%d)", lo, hi)
+		}
+	})
+	if !inBody {
+		t.Fatal("body never ran")
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	p := NewPool(4)
+	var total atomic.Int64
+	p.For(8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.For(8, func(lo2, hi2 int) {
+				total.Add(int64(hi2 - lo2))
+			})
+		}
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested loops covered %d indices, want 64", total.Load())
+	}
+}
+
+func TestDoRunsAllTasks(t *testing.T) {
+	p := NewPool(3)
+	var a, b, c atomic.Bool
+	p.Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do dropped a task")
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	p := NewPool(0)
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", got, want)
+	}
+	p.SetWorkers(-5)
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() after SetWorkers(-5) = %d, want %d", got, want)
+	}
+}
+
+func TestWorth(t *testing.T) {
+	p := NewPool(1)
+	if p.Worth(1e12) {
+		t.Fatal("a 1-worker pool must never report parallelism worthwhile")
+	}
+	p.SetWorkers(4)
+	if p.Worth(10) {
+		t.Fatal("tiny loops are not worth forking")
+	}
+	if !p.Worth(1e9) {
+		t.Fatal("large loops on a wide pool are worth forking")
+	}
+}
+
+func TestDefaultPoolHelpers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(2)
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d after SetWorkers(2)", Workers())
+	}
+	sum := make([]int32, 100)
+	For(100, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&sum[i], 1)
+		}
+	})
+	ForCost(100, 1e6, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&sum[i], 1)
+		}
+	})
+	for i, h := range sum {
+		if h != 2 {
+			t.Fatalf("index %d covered %d times, want 2", i, h)
+		}
+	}
+}

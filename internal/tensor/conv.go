@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // ConvOut returns the spatial output size for input size in, kernel k,
 // stride s, and symmetric zero padding p.
@@ -20,8 +24,13 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 	}
 	ho, wo := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
 	out := New(n, f, ho, wo)
-	for in := 0; in < n; in++ {
-		for of := 0; of < f; of++ {
+	// Each (sample, filter) output plane is independent, so planes shard
+	// over the pool; within a plane the serial loop nest is unchanged and
+	// the result is bit-identical at every worker count.
+	planeCost := float64(ho * wo * c * kh * kw)
+	parallel.ForCost(n*f, planeCost, func(lo, hi int) {
+		for plane := lo; plane < hi; plane++ {
+			in, of := plane/f, plane%f
 			bias := 0.0
 			if b != nil {
 				bias = b.Data[of]
@@ -54,13 +63,22 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Conv2DBackward computes gradients of a Conv2D call: given upstream grad
 // dout [N,F,HO,WO], it returns (dx, dw, db) matching x, w, and bias shapes.
 // db is nil when hasBias is false.
+//
+// The parallel formulation splits the fused serial pass in two: dx shards
+// over samples (each sample's dx is written by exactly one worker) and
+// dw/db shard over filters (each filter's slice of dw and its db entry are
+// written by exactly one worker). Both passes visit the contributing terms
+// of each gradient element in the same order as the fused serial pass —
+// (of, oy, ox) within a sample for dx; (in, oy, ox) within a filter for dw
+// and db — so all three gradients are bit-identical to the serial path at
+// every worker count.
 func Conv2DBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, db *Tensor) {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	f, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
@@ -70,6 +88,94 @@ func Conv2DBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, 
 	if hasBias {
 		db = New(f)
 	}
+	planeCost := float64(ho * wo * c * kh * kw)
+	if !parallel.Worth(2 * planeCost * float64(n*f)) {
+		conv2DBackwardSerial(x, w, dout, dx, dw, db, stride, pad, hasBias)
+		return dx, dw, db
+	}
+	parallel.ForCost(n, planeCost*float64(f), func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for of := 0; of < f; of++ {
+				for oy := 0; oy < ho; oy++ {
+					for ox := 0; ox < wo; ox++ {
+						g := dout.Data[((in*f+of)*ho+oy)*wo+ox]
+						if g == 0 {
+							continue
+						}
+						iy0 := oy*stride - pad
+						ix0 := ox*stride - pad
+						for ic := 0; ic < c; ic++ {
+							xBase := ((in*c + ic) * h) * wd
+							wBase := ((of*c + ic) * kh) * kw
+							for ky := 0; ky < kh; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								xRow := xBase + iy*wd
+								wRow := wBase + ky*kw
+								for kx := 0; kx < kw; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									dx.Data[xRow+ix] += g * w.Data[wRow+kx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	parallel.ForCost(f, planeCost*float64(n), func(lo, hi int) {
+		for of := lo; of < hi; of++ {
+			for in := 0; in < n; in++ {
+				for oy := 0; oy < ho; oy++ {
+					for ox := 0; ox < wo; ox++ {
+						g := dout.Data[((in*f+of)*ho+oy)*wo+ox]
+						if g == 0 {
+							continue
+						}
+						if hasBias {
+							db.Data[of] += g
+						}
+						iy0 := oy*stride - pad
+						ix0 := ox*stride - pad
+						for ic := 0; ic < c; ic++ {
+							xBase := ((in*c + ic) * h) * wd
+							wBase := ((of*c + ic) * kh) * kw
+							for ky := 0; ky < kh; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								xRow := xBase + iy*wd
+								wRow := wBase + ky*kw
+								for kx := 0; kx < kw; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									dw.Data[wRow+kx] += g * x.Data[xRow+ix]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx, dw, db
+}
+
+// conv2DBackwardSerial is the fused single-pass backward used when the
+// tensors are too small (or the pool too narrow) to amortize two sharded
+// passes.
+func conv2DBackwardSerial(x, w, dout, dx, dw, db *Tensor, stride, pad int, hasBias bool) {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	ho, wo := dout.Shape[2], dout.Shape[3]
 	for in := 0; in < n; in++ {
 		for of := 0; of < f; of++ {
 			for oy := 0; oy < ho; oy++ {
@@ -107,7 +213,87 @@ func Conv2DBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, 
 			}
 		}
 	}
-	return dx, dw, db
+}
+
+// Im2col unfolds NCHW input x into the [N·HO·WO, C·KH·KW] patch matrix of
+// the classic im2col formulation: row r holds the receptive field of output
+// position r in (ic, ky, kx) order, with zeros where the field overhangs
+// the padding. Rows are independent and shard over the worker pool.
+func Im2col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2col requires rank-4 input, got %v", x.Shape))
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	ho, wo := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	patch := c * kh * kw
+	cols := New(n*ho*wo, patch)
+	parallel.ForCost(n*ho*wo, float64(patch), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ox := r % wo
+			oy := (r / wo) % ho
+			in := r / (ho * wo)
+			iy0 := oy*stride - pad
+			ix0 := ox*stride - pad
+			row := cols.Data[r*patch : (r+1)*patch]
+			for ic := 0; ic < c; ic++ {
+				xBase := ((in*c + ic) * h) * wd
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					xRow := xBase + iy*wd
+					dst := (ic*kh + ky) * kw
+					for kx := 0; kx < kw; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						row[dst+kx] = x.Data[xRow+ix]
+					}
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Conv2DIm2col computes the same convolution as Conv2D via the im2col +
+// GEMM route: unfold the input, multiply by the flattened filter bank with
+// the (parallel) MatMulTransB kernel, and fold the product back to NCHW.
+// This trades memory for the dense-GEMM formulation most accelerator
+// backends use; results match Conv2D up to padding terms that contribute
+// exact zeros.
+func Conv2DIm2col(x, w, b *Tensor, stride, pad int) *Tensor {
+	if x.Rank() != 4 || w.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2DIm2col requires rank-4 operands, got %v, %v", x.Shape, w.Shape))
+	}
+	n, c := x.Shape[0], x.Shape[1]
+	f, c2, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if c != c2 {
+		panic(fmt.Sprintf("tensor: Conv2DIm2col channel mismatch %v vs %v", x.Shape, w.Shape))
+	}
+	ho, wo := ConvOut(x.Shape[2], kh, stride, pad), ConvOut(x.Shape[3], kw, stride, pad)
+	cols := Im2col(x, kh, kw, stride, pad)
+	wmat := FromSlice(w.Data, f, c*kh*kw)
+	prod := MatMulTransB(cols, wmat) // [n*ho*wo, f]
+	out := New(n, f, ho, wo)
+	plane := ho * wo
+	parallel.ForCost(n*f, float64(plane), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			in, of := p/f, p%f
+			bias := 0.0
+			if b != nil {
+				bias = b.Data[of]
+			}
+			dst := out.Data[p*plane : (p+1)*plane]
+			src := in * plane
+			for i := 0; i < plane; i++ {
+				dst[i] = prod.Data[(src+i)*f+of] + bias
+			}
+		}
+	})
+	return out
 }
 
 // MaxPool2D computes max pooling over NCHW input with square window k and

@@ -1,11 +1,17 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // MatMul returns the matrix product a·b for 2-D tensors a [n,k] and b [k,m].
 // The k-inner loop is ordered (i,k,j) so the innermost traversal is
 // sequential over both b and the output row, which is the standard
-// cache-friendly form for row-major data.
+// cache-friendly form for row-major data. Output rows are sharded over the
+// worker pool; each element accumulates over k in the serial order, so the
+// result is bit-identical at every worker count.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
@@ -16,25 +22,30 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	c := New(n, m)
-	for i := 0; i < n; i++ {
-		ar := a.Data[i*k : (i+1)*k]
-		cr := c.Data[i*m : (i+1)*m]
-		for p := 0; p < k; p++ {
-			av := ar[p]
-			if av == 0 {
-				continue
-			}
-			br := b.Data[p*m : (p+1)*m]
-			for j := 0; j < m; j++ {
-				cr[j] += av * br[j]
+	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			cr := c.Data[i*m : (i+1)*m]
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				if av == 0 {
+					continue
+				}
+				br := b.Data[p*m : (p+1)*m]
+				for j := 0; j < m; j++ {
+					cr[j] += av * br[j]
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
 // MatMulTransA returns aᵀ·b for a [k,n] and b [k,m], producing [n,m].
-// Used by backward passes: dW = xᵀ·dy.
+// Used by backward passes: dW = xᵀ·dy. Workers own disjoint output-row
+// ranges [lo, hi) and replay the serial (p, i, j) nest restricted to their
+// rows, so each element's accumulation order over p — and therefore the
+// bits — match the serial result exactly.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulTransA requires rank-2 operands")
@@ -45,20 +56,22 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	c := New(n, m)
-	for p := 0; p < k; p++ {
-		ar := a.Data[p*n : (p+1)*n]
-		br := b.Data[p*m : (p+1)*m]
-		for i := 0; i < n; i++ {
-			av := ar[i]
-			if av == 0 {
-				continue
-			}
-			cr := c.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				cr[j] += av * br[j]
+	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ar := a.Data[p*n : (p+1)*n]
+			br := b.Data[p*m : (p+1)*m]
+			for i := lo; i < hi; i++ {
+				av := ar[i]
+				if av == 0 {
+					continue
+				}
+				cr := c.Data[i*m : (i+1)*m]
+				for j := 0; j < m; j++ {
+					cr[j] += av * br[j]
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -74,18 +87,20 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	c := New(n, m)
-	for i := 0; i < n; i++ {
-		ar := a.Data[i*k : (i+1)*k]
-		cr := c.Data[i*m : (i+1)*m]
-		for j := 0; j < m; j++ {
-			br := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += ar[p] * br[p]
+	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			cr := c.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				br := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += ar[p] * br[p]
+				}
+				cr[j] = s
 			}
-			cr[j] = s
 		}
-	}
+	})
 	return c
 }
 
