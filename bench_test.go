@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/dist"
 	"repro/internal/goboard"
 	"repro/internal/mcts"
 	"repro/internal/models"
@@ -447,6 +448,67 @@ func benchRunSetAt(b *testing.B, workers int) {
 
 func BenchmarkRunSetSerial(b *testing.B)     { benchRunSetAt(b, 1) }
 func BenchmarkRunSetConcurrent(b *testing.B) { benchRunSetAt(b, 0) }
+
+// --- Serial vs data-parallel training steps (the internal/dist engine) ---
+//
+// One global step at a fixed global batch and microshard count, varying
+// only the worker count. Every configuration trains bit-identically
+// (internal/dist/dist_test.go asserts it); only wall time may differ, and
+// speedup requires spare cores. Kernels are pinned serial so the
+// data-parallel workers are the only parallelism.
+
+// benchDPNCFStepAt measures one NCF engine step at the given worker count.
+func benchDPNCFStepAt(b *testing.B, workers int) {
+	withPoolWorkers(b, 1)
+	ds := datasets.GenerateRec(datasets.DefaultRecConfig())
+	hp := models.DefaultNCFHParams()
+	eng, err := dist.New(dist.Config{
+		Workers: workers, Microshards: 8,
+		GlobalBatch: 256, DatasetN: len(ds.Train), Seed: 1,
+	}, func(worker int) dist.Replica {
+		m := models.NewRecommendation(ds, hp, 1)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepNext()
+	}
+}
+
+func BenchmarkDPNCFStepSerial(b *testing.B) { benchDPNCFStepAt(b, 1) }
+func BenchmarkDPNCFStepDP2(b *testing.B)    { benchDPNCFStepAt(b, 2) }
+func BenchmarkDPNCFStepDP4(b *testing.B)    { benchDPNCFStepAt(b, 4) }
+func BenchmarkDPNCFStepDP8(b *testing.B)    { benchDPNCFStepAt(b, 8) }
+
+// benchDPImageStepAt measures one ResNet engine step (conv/BN model shape)
+// at the given worker count.
+func benchDPImageStepAt(b *testing.B, workers int) {
+	withPoolWorkers(b, 1)
+	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
+	hp := models.DefaultImageHParams()
+	eng, err := dist.New(dist.Config{
+		Workers: workers, Microshards: 8,
+		GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: 1,
+	}, func(worker int) dist.Replica {
+		m := models.NewImageClassification(ds, hp, 1)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepNext()
+	}
+}
+
+func BenchmarkDPImageStepSerial(b *testing.B) { benchDPImageStepAt(b, 1) }
+func BenchmarkDPImageStepDP2(b *testing.B)    { benchDPImageStepAt(b, 2) }
+func BenchmarkDPImageStepDP4(b *testing.B)    { benchDPImageStepAt(b, 4) }
+func BenchmarkDPImageStepDP8(b *testing.B)    { benchDPImageStepAt(b, 8) }
 
 func BenchmarkMatMul64(b *testing.B) {
 	rng := tensor.NewRNG(1)

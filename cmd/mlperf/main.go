@@ -8,6 +8,7 @@
 //	mlperf -benchmark recommendation -runs 3 -seed 1
 //	mlperf -benchmark all -version v0.6
 //	mlperf -benchmark recommendation -runs 10 -parallel -workers 8
+//	mlperf -benchmark recommendation -dp 4   # data-parallel training (internal/dist)
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 		list      = flag.Bool("list", false, "list the suite (Table 1) and exit")
 		workers   = flag.Int("workers", 0, "worker-pool size for tensor kernels and concurrent runs (0 = GOMAXPROCS, 1 = serial)")
 		par       = flag.Bool("parallel", false, "execute each benchmark's runs concurrently: quality results match serial exactly, but wall-clock times-to-train reflect core contention, and output (including -mllog) is buffered until the run set completes")
+		dp        = flag.Int("dp", 0, "data-parallel workers: train on the internal/dist engine with K replicas and a per-step ring all-reduce (0 = serial training; supported: image_classification, recommendation)")
+		dpShards  = flag.Int("dp-shards", 0, "gradient-reduction microshards for -dp (0 = auto). Runs sharing seed, batch, and shards are bit-identical at every worker count dividing shards")
 	)
 	flag.Parse()
 
@@ -59,7 +62,19 @@ func main() {
 	}
 
 	for _, id := range ids {
-		b, err := core.FindBenchmark(v, id)
+		var b core.Benchmark
+		var err error
+		if *dp > 0 {
+			b, err = core.DPBenchmark(v, id, *dp, *dpShards)
+			if err != nil && *benchmark == "all" {
+				// With -benchmark all, skip benchmarks the data-parallel
+				// engine doesn't support rather than aborting the suite.
+				fmt.Fprintf(os.Stderr, "skipping %s: %v\n", id, err)
+				continue
+			}
+		} else {
+			b, err = core.FindBenchmark(v, id)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)

@@ -16,6 +16,9 @@
 //	internal/datasets   — synthetic stand-ins for ImageNet/COCO/WMT/MovieLens
 //	internal/metrics    — top-1, mAP, BLEU, HR@10, move match
 //	internal/models     — the 7 benchmark models
+//	internal/dist       — synchronous data-parallel training engine (K worker
+//	                      replicas, deterministic chunked ring all-reduce;
+//	                      bit-identical across worker counts)
 //	internal/goboard    — Go engine; internal/mcts — self-play search
 //	internal/mlog       — MLLOG structured logging
 //	internal/cluster    — simulated scale-out (Figures 4–5)

@@ -3,22 +3,38 @@
 // raised quality targets, and large-batch rule changes (LARS) drive both
 // the 16-chip speedups of Figure 4 and the scale-out movement of Figure 5.
 //
+// With -measured, the study additionally runs the REAL data-parallel engine
+// (internal/dist) at 1/2/4/8 workers and reports measured per-step times
+// and ring-all-reduce traffic alongside the analytic model — and calibrates
+// the analytic workload model against the measurement, so the simulated
+// figures and the executed engine tell one story.
+//
 // Usage:
 //
 //	go run ./examples/scaling            # both figures
 //	go run ./examples/scaling -figure 4
+//	go run ./examples/scaling -measured  # measured multi-worker step times
 package main
 
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/parallel"
 )
 
 func main() {
 	figure := flag.Int("figure", 0, "4, 5, or 0 for both")
+	measured := flag.Bool("measured", false, "also run the real internal/dist engine at 1/2/4/8 workers and report measured scaling")
+	steps := flag.Int("steps", 30, "measured steps per worker count (with -measured)")
+	batch := flag.Int("batch", 256, "global batch for the measured engine (with -measured)")
 	flag.Parse()
 
 	if *figure == 0 || *figure == 4 {
@@ -40,5 +56,77 @@ func main() {
 				r.V06Chips, cluster.FormatDuration(r.V06Time), r.Increase)
 		}
 		fmt.Printf("  geometric mean increase: %.1fx (paper reports an average of 5.5x)\n", cluster.GeoMeanIncrease(rows))
+	}
+	if *measured {
+		runMeasured(*steps, *batch)
+	}
+}
+
+// runMeasured trains the NCF recommendation model on the internal/dist
+// engine at increasing worker counts, at a fixed global batch and fixed
+// microshard count, so every configuration performs bit-identical training
+// and the only variable is parallel execution. The tensor-kernel pool is
+// pinned to one worker for the duration, so the data-parallel workers are
+// the experiment's only source of parallelism.
+func runMeasured(steps, batch int) {
+	ds := datasets.GenerateRec(datasets.DefaultRecConfig())
+	hp := models.DefaultNCFHParams()
+	const microshards = 8
+	const seed = 1
+
+	oldWorkers := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(oldWorkers)
+
+	fmt.Printf("\nMeasured data-parallel scaling: NCF on internal/dist\n")
+	fmt.Printf("(global batch %d, %d microshards, %d steps per point, serial kernels, %d core(s) available;\n"+
+		" all points train bit-identically — speedup requires spare cores)\n",
+		batch, microshards, steps, runtime.GOMAXPROCS(0))
+
+	var basePerStep time.Duration
+	var flatBytes int
+	for _, k := range []int{1, 2, 4, 8} {
+		eng, err := dist.New(dist.Config{
+			Workers: k, Microshards: microshards,
+			GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
+		}, func(worker int) dist.Replica {
+			m := models.NewRecommendation(ds, hp, seed)
+			return dist.Replica{Model: m, Opt: m.Opt}
+		})
+		if err != nil {
+			panic(err)
+		}
+		for s := 0; s < steps; s++ {
+			eng.StepNext()
+		}
+		st := eng.Stats()
+		perStep := st.StepTime / time.Duration(steps)
+		if k == 1 {
+			basePerStep = perStep
+			flatBytes = eng.FlatSize() * 8
+		}
+		speedup := float64(basePerStep) / float64(perStep)
+		fmt.Printf("  workers %d: %10s/step   speedup %.2fx   ring traffic %6.1f KiB/step\n",
+			k, perStep.Round(time.Microsecond), speedup,
+			float64(st.RingBytes)/float64(st.Steps)/1024)
+	}
+
+	// Calibrate the analytic Figure-4/5 workload model against the measured
+	// serial step time and the real gradient payload.
+	for _, w := range cluster.WorkloadModels() {
+		if w.ID != "recommendation" {
+			continue
+		}
+		v05, _ := cluster.Rounds()
+		cal := w.CalibrateFromMeasurement(basePerStep.Seconds(), batch, cluster.ReferenceChip(), v05, float64(flatBytes))
+		fmt.Printf("\nAnalytic model calibrated to the measurement:\n")
+		fmt.Printf("  FlopsPerSample %.3g (was %.3g), ModelBytes %.3g (was %.3g)\n",
+			cal.FlopsPerSample, w.FlopsPerSample, cal.ModelBytes, w.ModelBytes)
+		for _, chips := range []int{1, 2, 4, 8} {
+			sys := cluster.System{Name: fmt.Sprintf("sim-%dx", chips), Chips: chips,
+				Chip: cluster.ReferenceChip(), Network: cluster.ReferenceNetwork()}
+			t := cluster.StepTime(sys, cal, v05, batch)
+			fmt.Printf("  analytic step time at %d chips: %s\n", chips, t.Round(time.Nanosecond))
+		}
 	}
 }

@@ -358,3 +358,88 @@ func TestGradSoftCrossEntropy(t *testing.T) {
 		return SoftCrossEntropy(v[0], tgt)
 	})
 }
+
+// --- Gradient flattening (the dist engine's fusion-buffer layout) ---
+
+func TestFlattenScatterRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	params := []*Param{
+		NewParam("a", tensor.Randn(rng, 1, 2, 3)),
+		NewParam("b", tensor.Randn(rng, 1, 4)),
+		NewParam("c", tensor.Randn(rng, 1, 1, 5)),
+	}
+	if got := FlatSize(params); got != 2*3+4+5 {
+		t.Fatalf("FlatSize = %d", got)
+	}
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.Norm()
+		}
+	}
+	flat := make([]float64, FlatSize(params))
+	FlattenGradsScaled(flat, params, 1)
+	// The flat layout is the concatenation in parameter order.
+	o := 0
+	for _, p := range params {
+		for i, g := range p.Grad.Data {
+			if flat[o+i] != g {
+				t.Fatalf("flat[%d] = %g, want %g", o+i, flat[o+i], g)
+			}
+		}
+		o += p.Grad.Size()
+	}
+	// Scatter into a second parameter list restores the gradients exactly.
+	rng2 := tensor.NewRNG(5)
+	clone := []*Param{
+		NewParam("a", tensor.Randn(rng2, 1, 2, 3)),
+		NewParam("b", tensor.Randn(rng2, 1, 4)),
+		NewParam("c", tensor.Randn(rng2, 1, 1, 5)),
+	}
+	ScatterGrads(flat, clone)
+	for pi, p := range params {
+		for i, g := range p.Grad.Data {
+			if clone[pi].Grad.Data[i] != g {
+				t.Fatalf("scatter mismatch at param %d elem %d", pi, i)
+			}
+		}
+	}
+}
+
+func TestFlattenGradsScaled(t *testing.T) {
+	p := NewParam("w", tensor.Ones(3))
+	p.Grad.Data = []float64{1, -2, 4}
+	flat := make([]float64, 3)
+	FlattenGradsScaled(flat, []*Param{p}, 0.25)
+	want := []float64{0.25, -0.5, 1}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestCopyParamValuesAndParamsEqual(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	src := []*Param{NewParam("a", tensor.Randn(rng, 1, 6)), NewParam("b", tensor.Randn(rng, 1, 2, 2))}
+	dst := []*Param{NewParam("a", tensor.New(6)), NewParam("b", tensor.New(2, 2))}
+	if ParamsEqual(dst, src) {
+		t.Fatal("distinct values reported equal")
+	}
+	CopyParamValues(dst, src)
+	if !ParamsEqual(dst, src) {
+		t.Fatal("broadcast copy did not synchronize values")
+	}
+	dst[1].Value.Data[3] += 1e-16
+	if ParamsEqual(dst, src) {
+		t.Fatal("bitwise drift not detected")
+	}
+}
+
+func TestFlattenSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FlattenGradsScaled(make([]float64, 2), []*Param{NewParam("a", tensor.Ones(3))}, 1)
+}

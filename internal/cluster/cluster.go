@@ -65,6 +65,25 @@ func (w WorkloadModel) EpochsToTarget(b int) float64 {
 	return w.BaseEpochs * (1 + float64(b)/w.CritBatch)
 }
 
+// CalibrateFromMeasurement returns a copy of w with FlopsPerSample fitted so
+// the analytic single-chip StepTime under the given round equals a measured
+// per-step duration, and ModelBytes set from a measured gradient payload
+// (e.g. 8 bytes per element of the dist engine's flattened gradient). The
+// round's SoftwareEfficiency is folded into the fit, so the calibration
+// round-trips exactly for any round. This ties the analytic Figures 4/5
+// sweeps to the real data-parallel engine in internal/dist: the same
+// workload model then tells one story in both the simulated and the
+// measured scaling curves.
+func (w WorkloadModel) CalibrateFromMeasurement(stepSec float64, globalBatch int, chip Chip, round RoundConfig, modelBytes float64) WorkloadModel {
+	if globalBatch > 0 && stepSec > 0 {
+		w.FlopsPerSample = stepSec * chip.FlopsPerSec * round.SoftwareEfficiency / float64(globalBatch)
+	}
+	if modelBytes > 0 {
+		w.ModelBytes = modelBytes
+	}
+	return w
+}
+
 // RoundConfig models what changes between submission rounds on fixed
 // hardware (§5: "The two rounds were six months apart and the underlying
 // hardware systems did not change").
@@ -130,11 +149,21 @@ func TimeToTrain(sys System, w WorkloadModel, round RoundConfig, globalBatch int
 }
 
 // BestBatch searches the feasible batch ladder for the fastest
-// time-to-train on the system, returning the batch and its time.
+// time-to-train on the system, returning the batch and its time. The ladder
+// starts at MinBatchPerChip (clamped to 1: a zero or negative min would make
+// the doubling sweep loop forever, since 0*2 == 0) and doubles up to
+// MaxBatchPerChip; non-power-of-two bounds are fine.
 func BestBatch(sys System, w WorkloadModel, round RoundConfig) (int, time.Duration, error) {
+	if w.MaxBatchPerChip < 1 {
+		return 0, 0, fmt.Errorf("cluster: workload %s has MaxBatchPerChip %d < 1", w.ID, w.MaxBatchPerChip)
+	}
+	minPerChip := w.MinBatchPerChip
+	if minPerChip < 1 {
+		minPerChip = 1
+	}
 	best := time.Duration(math.MaxInt64)
 	bestBatch := 0
-	for perChip := w.MinBatchPerChip; perChip <= w.MaxBatchPerChip; perChip *= 2 {
+	for perChip := minPerChip; perChip <= w.MaxBatchPerChip; perChip *= 2 {
 		b := perChip * sys.Chips
 		t, err := TimeToTrain(sys, w, round, b)
 		if err != nil {

@@ -198,3 +198,77 @@ func TestFormatDuration(t *testing.T) {
 		t.Fatal("seconds formatting")
 	}
 }
+
+// Regression: BestBatch's doubling sweep looped forever when a workload
+// passed MinBatchPerChip == 0 (0·2 == 0). A zero min now clamps to 1 and
+// the sweep terminates; if this regresses the test hangs and times out.
+func TestBestBatchZeroMinTerminates(t *testing.T) {
+	w := WorkloadModel{
+		ID: "zero-min", DatasetN: 1e5, FlopsPerSample: 1e9, ModelBytes: 1e7,
+		BaseEpochs: 5, CritBatch: 1e4, MaxBatchPerChip: 64, MinBatchPerChip: 0,
+	}
+	sys := System{Name: "t", Chips: 4, Chip: ReferenceChip(), Network: ReferenceNetwork()}
+	v05, _ := Rounds()
+	b, d, err := BestBatch(sys, w, v05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 4 || d <= 0 {
+		t.Fatalf("implausible best batch %d time %v", b, d)
+	}
+	// BestScale drives the same ladder across system sizes.
+	bs, bb, bt := BestScale(ReferenceChip(), ReferenceNetwork(), w, v05)
+	if bs.Chips < 1 || bb < 1 || bt <= 0 {
+		t.Fatalf("BestScale with zero min: %+v batch %d time %v", bs, bb, bt)
+	}
+}
+
+// A non-power-of-two min walks the ladder 3, 6, 12, ... and terminates.
+func TestBestBatchNonPowerOfTwoMin(t *testing.T) {
+	w := WorkloadModel{
+		ID: "npo2-min", DatasetN: 1e5, FlopsPerSample: 1e9, ModelBytes: 1e7,
+		BaseEpochs: 5, CritBatch: 1e4, MaxBatchPerChip: 48, MinBatchPerChip: 3,
+	}
+	sys := System{Name: "t", Chips: 2, Chip: ReferenceChip(), Network: ReferenceNetwork()}
+	v05, _ := Rounds()
+	b, _, err := BestBatch(sys, w, v05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perChip := b / sys.Chips; perChip < 3 || perChip > 48 {
+		t.Fatalf("best per-chip batch %d outside [3,48]", perChip)
+	}
+}
+
+// An unusable max is an error, not an empty sweep.
+func TestBestBatchInvalidMax(t *testing.T) {
+	w := WorkloadModel{ID: "bad-max", MaxBatchPerChip: 0}
+	sys := System{Chips: 1, Chip: ReferenceChip(), Network: ReferenceNetwork()}
+	v05, _ := Rounds()
+	if _, _, err := BestBatch(sys, w, v05); err == nil {
+		t.Fatal("expected error for MaxBatchPerChip 0")
+	}
+}
+
+// Calibration ties the analytic model to a measured engine: after fitting,
+// the single-chip analytic step time reproduces the measurement.
+func TestCalibrateFromMeasurement(t *testing.T) {
+	w := WorkloadModels()[0]
+	chip := ReferenceChip()
+	const measured = 0.125 // seconds per step
+	const batch = 256
+	v05, v06 := Rounds()
+	sys := System{Name: "one", Chips: 1, Chip: chip, Network: ReferenceNetwork()}
+	// The fit must round-trip under the round it was made for — including
+	// v0.6, whose SoftwareEfficiency is not 1.0.
+	for _, round := range []RoundConfig{v05, v06} {
+		cal := w.CalibrateFromMeasurement(measured, batch, chip, round, 4e6)
+		if cal.ModelBytes != 4e6 {
+			t.Fatalf("%s: ModelBytes = %g", round.Version, cal.ModelBytes)
+		}
+		got := StepTime(sys, cal, round, batch).Seconds()
+		if diff := got - measured; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: calibrated step time %v, want %v", round.Version, got, measured)
+		}
+	}
+}

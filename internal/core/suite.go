@@ -74,6 +74,18 @@ var (
 	})
 )
 
+// imageHParams returns the image-classification reference hyperparameters
+// for a round. Shared by the serial suite constructor and DPBenchmark, so
+// data-parallel runs always train under the round's reference config.
+func imageHParams(v Version) models.ImageHParams {
+	hp := models.DefaultImageHParams()
+	if v == V06 {
+		hp.UseLARS = true // rule change admitted in v0.6 (§5)
+		hp.WarmupEpochs = 2
+	}
+	return hp
+}
+
 // Suite returns the benchmark list for a round. The v0.6 revision follows
 // §6: ResNet adds the LARS optimizer for large batches, the GNMT model is
 // improved for higher translation quality, MiniGo's reference is made
@@ -100,12 +112,7 @@ func Suite(v Version) []Benchmark {
 			Model: "ResNet-50 v1.5 (scaled)", QualityMetric: "Top-1 accuracy",
 			Target: resnetTarget, RequiredRuns: 5, MaxEpochs: 40, Vision: true,
 			New: func(seed uint64) models.Workload {
-				hp := models.DefaultImageHParams()
-				if v == V06 {
-					hp.UseLARS = true // rule change admitted in v0.6 (§5)
-					hp.WarmupEpochs = 2
-				}
-				return models.NewImageClassification(imgDS, hp, seed)
+				return models.NewImageClassification(imgDS, imageHParams(v), seed)
 			},
 		},
 		{

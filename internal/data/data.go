@@ -16,8 +16,12 @@ import (
 // traversal order is reproducible per seed — one of the stochasticity
 // sources §2.2.3 identifies.
 type Loader struct {
-	N        int
-	Batch    int
+	N     int
+	Batch int
+	// DropLast discards the trailing short batch of each epoch so every
+	// emitted batch has exactly Batch examples. It requires Batch <= N
+	// (otherwise an epoch would contain no batches at all); Next and
+	// StepsPerEpoch reject the degenerate configuration.
 	DropLast bool
 
 	rng   *tensor.RNG
@@ -44,9 +48,20 @@ func (l *Loader) reshuffle() {
 // Epoch returns the number of completed passes over the data.
 func (l *Loader) Epoch() int { return l.epoch }
 
+// checkDropLast rejects the degenerate DropLast configuration in which an
+// epoch would contain zero batches. Without this guard Next used to emit
+// short batches anyway (violating the DropLast contract), StepsPerEpoch
+// returned 0, and the epoch counter incremented before any pass completed.
+func (l *Loader) checkDropLast() {
+	if l.DropLast && l.Batch > l.N {
+		panic(fmt.Sprintf("data: DropLast with batch %d > n %d yields zero batches per epoch", l.Batch, l.N))
+	}
+}
+
 // StepsPerEpoch returns the number of batches in one epoch.
 func (l *Loader) StepsPerEpoch() int {
 	if l.DropLast {
+		l.checkDropLast()
 		return l.N / l.Batch
 	}
 	return (l.N + l.Batch - 1) / l.Batch
@@ -55,6 +70,7 @@ func (l *Loader) StepsPerEpoch() int {
 // Next returns the next minibatch of example indices and whether this batch
 // begins a new epoch.
 func (l *Loader) Next() (idx []int, newEpoch bool) {
+	l.checkDropLast()
 	if l.pos >= l.N || (l.DropLast && l.pos+l.Batch > l.N) {
 		l.epoch++
 		l.reshuffle()

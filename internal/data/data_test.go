@@ -171,3 +171,113 @@ func TestPipelineValidation(t *testing.T) {
 		t.Fatal("stochastic reformat-stage transform must be rejected")
 	}
 }
+
+// Regression: DropLast with Batch > N used to emit short batches anyway
+// (violating the DropLast contract), report StepsPerEpoch() == 0, and bump
+// the epoch counter on the very first Next call. The configuration yields
+// zero batches per epoch and is now rejected outright.
+func TestLoaderDropLastRejectsBatchLargerThanN(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic for DropLast with Batch > N", name)
+			}
+		}()
+		f()
+	}
+	l := NewLoader(3, 5, tensor.NewRNG(1))
+	l.DropLast = true
+	expectPanic("Next", func() { l.Next() })
+	expectPanic("StepsPerEpoch", func() { l.StepsPerEpoch() })
+}
+
+// DropLast with Batch == N is the boundary case and must work: one full
+// batch per epoch, correct epoch accounting.
+func TestLoaderDropLastBatchEqualsN(t *testing.T) {
+	l := NewLoader(4, 4, tensor.NewRNG(1))
+	l.DropLast = true
+	if got := l.StepsPerEpoch(); got != 1 {
+		t.Fatalf("StepsPerEpoch = %d, want 1", got)
+	}
+	idx, _ := l.Next()
+	if len(idx) != 4 || l.Epoch() != 0 {
+		t.Fatalf("first batch len %d epoch %d", len(idx), l.Epoch())
+	}
+	idx, newEpoch := l.Next()
+	if len(idx) != 4 || !newEpoch || l.Epoch() != 1 {
+		t.Fatalf("second batch len %d newEpoch %v epoch %d", len(idx), newEpoch, l.Epoch())
+	}
+}
+
+// Sharding a batch must be a partition in order: the concatenation of the
+// worker shards equals the original batch for every worker count, including
+// ragged lengths — the invariant the internal/dist engine relies on to keep
+// its gradient reduction worker-count-invariant.
+func TestShardConcatenationEqualsBatch(t *testing.T) {
+	for _, n := range []int{1, 7, 50, 64} {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = 100 + i
+		}
+		for _, workers := range []int{1, 2, 3, 6, 8} {
+			var cat []int
+			for w := 0; w < workers; w++ {
+				cat = append(cat, Shard(idx, w, workers)...)
+			}
+			if len(cat) != n {
+				t.Fatalf("n=%d workers=%d: concat length %d", n, workers, len(cat))
+			}
+			for i := range cat {
+				if cat[i] != idx[i] {
+					t.Fatalf("n=%d workers=%d: order broken at %d", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// A loader's global batch stream is a function of (N, Batch, seed) only —
+// never of how many workers later shard each batch. Sharded traversal at
+// any worker count therefore covers exactly the serial stream.
+func TestShardedLoaderDeterministicAcrossWorkerCounts(t *testing.T) {
+	stream := func() [][]int {
+		l := NewLoader(37, 8, tensor.NewRNG(9))
+		var out [][]int
+		for i := 0; i < 12; i++ {
+			idx, _ := l.Next()
+			out = append(out, idx)
+		}
+		return out
+	}
+	ref := stream()
+	for _, workers := range []int{2, 4, 8} {
+		got := stream()
+		for s := range ref {
+			// The global batch is identical regardless of worker count...
+			if len(got[s]) != len(ref[s]) {
+				t.Fatalf("workers=%d step %d: batch length changed", workers, s)
+			}
+			for i := range ref[s] {
+				if got[s][i] != ref[s][i] {
+					t.Fatalf("workers=%d step %d: stream diverged", workers, s)
+				}
+			}
+			// ...and sharding it covers every element exactly once.
+			seen := map[int]int{}
+			for w := 0; w < workers; w++ {
+				for _, v := range Shard(got[s], w, workers) {
+					seen[v]++
+				}
+			}
+			if len(seen) != len(got[s]) {
+				t.Fatalf("workers=%d step %d: shards covered %d of %d", workers, s, len(seen), len(got[s]))
+			}
+			for v, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d step %d: element %d assigned %d times", workers, s, v, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package dist implements a real — not analytic — synchronous data-parallel
+// training engine: K simulated workers run as goroutines, each holding a
+// full replica of the model parameters and training on a data.Shard-derived
+// slice of every global minibatch. Gradients are exchanged per step through
+// a chunked ring all-reduce (pipelined reduce-scatter followed by an
+// all-gather leg) over the flattened gradient vector, the communication
+// pattern of the TPU-pod and GPU-cluster submissions the paper reports
+// (§5, Figures 4–5). internal/cluster models this analytically; this
+// package executes it, so scaling curves can be measured instead of only
+// simulated.
+//
+// # Determinism
+//
+// Gradient aggregation uses a fixed reduction order, making training
+// reproducible and — unlike naive data parallelism — invariant to the
+// worker count. The unit of reduction is the microshard: every global batch
+// is split into F = Config.Microshards contiguous shards (data.Shard
+// semantics), each microshard's gradient is computed by exactly one worker,
+// and the ring sums microshard gradients in ascending microshard order
+// regardless of how they are distributed over workers. Two runs with the
+// same seed, global batch, and Microshards therefore produce bit-identical
+// parameters at every step for ANY worker count dividing Microshards —
+// dist at K ∈ {2, 4, 8} workers matches the K = 1 serial run exactly, the
+// property the engine's tests assert. (Floating-point addition is not
+// associative, so without the fixed microshard order the partial sums would
+// drift across worker counts.)
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/autograd"
+	"repro/internal/data"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Trainable is the per-replica model contract. internal/models workloads
+// implement it structurally (no import needed): the engine drives forward/
+// backward itself, so implementations only build the loss for one
+// microbatch.
+type Trainable interface {
+	// Params returns the replica's trainable parameters in a stable order
+	// (identical across replicas built from the same factory and seed).
+	Params() []*autograd.Param
+	// MicrobatchLoss runs the forward pass over the given example indices
+	// and returns the mean loss. All stochasticity (augmentation, negative
+	// sampling, dropout) must flow through rng, which the engine derives
+	// deterministically from (seed, step, microshard) so the same
+	// microshard sees the same randomness at every worker count.
+	MicrobatchLoss(tape *autograd.Tape, idx []int, rng *tensor.RNG) *autograd.Var
+}
+
+// Replica couples one worker's model replica with its optimizer. Every
+// replica applies the identical aggregated gradient once per step, so
+// replicas (and their optimizer states) stay bit-identical forever — the
+// invariant real synchronous data parallelism maintains.
+type Replica struct {
+	Model Trainable
+	Opt   opt.Optimizer
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Workers is K, the number of data-parallel workers (>= 1).
+	Workers int
+	// GlobalBatch is the per-step example count, split over microshards.
+	GlobalBatch int
+	// Microshards is F, the fixed gradient-reduction granularity; it must
+	// be a multiple of Workers. 0 selects Workers — deterministic for that
+	// worker count, but cross-worker-count bit-identity requires pinning
+	// Microshards to one value (e.g. 8) for every run being compared.
+	Microshards int
+	// Chunks is the ring all-reduce chunk count (the pipelining grain);
+	// 0 selects Workers. It never affects results, only message sizing.
+	Chunks int
+	// DatasetN is the number of training examples the engine's loader
+	// shuffles over.
+	DatasetN int
+	// DropLast forwards to the loader.
+	DropLast bool
+	// Seed drives epoch shuffling and the per-(step, microshard) RNG
+	// streams.
+	Seed uint64
+	// Schedule, when non-nil, sets every replica optimizer's learning rate
+	// from the global step before each update.
+	Schedule opt.Schedule
+}
+
+// Stats counts the engine's communication and compute activity.
+type Stats struct {
+	// Steps is the number of optimizer steps taken.
+	Steps int
+	// RingMessages is the number of point-to-point chunk transfers.
+	RingMessages int
+	// RingBytes is the total payload moved over ring links (8 bytes per
+	// float64 element).
+	RingBytes int
+	// StepTime is cumulative wall time spent inside Step.
+	StepTime time.Duration
+}
+
+// Engine is a synchronous data-parallel trainer over K replicas.
+type Engine struct {
+	cfg    Config
+	chunks int
+
+	replicas []Replica
+	params   [][]*autograd.Param // cached per-replica parameter lists
+	flatLen  int
+
+	loader *data.Loader
+	epoch  int
+	step   int
+
+	gbuf   [][]float64 // F microshard gradient rows, each flatLen long
+	agg    [][]float64 // K per-worker aggregated gradients
+	losses []float64   // F per-microshard weighted losses
+
+	// Ring state, allocated once: both channel sets are fully drained by
+	// the end of every step, and the traveling chunk buffers are quiescent
+	// after the step barrier, so reuse keeps allocation out of the timed
+	// hot path that Stats.StepTime measures.
+	reduceCh []chan []float64
+	gatherCh []chan []float64
+	ringbuf  [][]float64
+
+	stats Stats
+}
+
+// New builds an engine. factory is called sequentially for worker
+// 0..Workers-1 and must return replicas with bit-identical initial
+// parameters (build the same model from the same seed).
+func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dist: Workers %d < 1", cfg.Workers)
+	}
+	if cfg.GlobalBatch < 1 {
+		return nil, fmt.Errorf("dist: GlobalBatch %d < 1", cfg.GlobalBatch)
+	}
+	if cfg.DatasetN < 1 {
+		return nil, fmt.Errorf("dist: DatasetN %d < 1", cfg.DatasetN)
+	}
+	if cfg.DropLast && cfg.GlobalBatch > cfg.DatasetN {
+		return nil, fmt.Errorf("dist: DropLast with GlobalBatch %d > DatasetN %d yields zero steps per epoch", cfg.GlobalBatch, cfg.DatasetN)
+	}
+	if cfg.Microshards == 0 {
+		cfg.Microshards = cfg.Workers
+	}
+	if cfg.Microshards < cfg.Workers || cfg.Microshards%cfg.Workers != 0 {
+		return nil, fmt.Errorf("dist: Microshards %d must be a positive multiple of Workers %d", cfg.Microshards, cfg.Workers)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("dist: nil replica factory")
+	}
+
+	e := &Engine{cfg: cfg}
+	for w := 0; w < cfg.Workers; w++ {
+		rep := factory(w)
+		if rep.Model == nil || rep.Opt == nil {
+			return nil, fmt.Errorf("dist: factory returned incomplete replica %d", w)
+		}
+		e.replicas = append(e.replicas, rep)
+		e.params = append(e.params, rep.Model.Params())
+	}
+	e.flatLen = autograd.FlatSize(e.params[0])
+	if e.flatLen == 0 {
+		return nil, fmt.Errorf("dist: replica has no parameters")
+	}
+	for w := 1; w < cfg.Workers; w++ {
+		if !autograd.ParamsEqual(e.params[w], e.params[0]) {
+			return nil, fmt.Errorf("dist: replica %d parameters differ from replica 0 (factory must build identical replicas)", w)
+		}
+	}
+
+	e.chunks = cfg.Chunks
+	if e.chunks <= 0 {
+		e.chunks = cfg.Workers
+	}
+	if e.chunks > e.flatLen {
+		e.chunks = e.flatLen
+	}
+
+	e.loader = data.NewLoader(cfg.DatasetN, cfg.GlobalBatch, LoaderRNG(cfg.Seed))
+	e.loader.DropLast = cfg.DropLast
+
+	e.gbuf = make([][]float64, cfg.Microshards)
+	for m := range e.gbuf {
+		e.gbuf[m] = make([]float64, e.flatLen)
+	}
+	e.agg = make([][]float64, cfg.Workers)
+	for w := range e.agg {
+		e.agg[w] = make([]float64, e.flatLen)
+	}
+	e.losses = make([]float64, cfg.Microshards)
+	if cfg.Workers > 1 {
+		e.reduceCh = make([]chan []float64, cfg.Workers)
+		e.gatherCh = make([]chan []float64, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			e.reduceCh[w] = make(chan []float64, e.chunks)
+			e.gatherCh[w] = make(chan []float64, e.chunks)
+		}
+		e.ringbuf = make([][]float64, e.chunks)
+		for c := range e.ringbuf {
+			lo, hi := e.chunkRange(c)
+			e.ringbuf[c] = make([]float64, hi-lo)
+		}
+	}
+	return e, nil
+}
+
+// Workers returns the engine's worker count.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Replica returns worker w's replica (replica 0 is the conventional source
+// for evaluation).
+func (e *Engine) Replica(w int) Replica { return e.replicas[w] }
+
+// Params returns replica 0's parameters.
+func (e *Engine) Params() []*autograd.Param { return e.params[0] }
+
+// FlatSize returns the flattened gradient length (the all-reduce payload in
+// elements; multiply by 8 for bytes).
+func (e *Engine) FlatSize() int { return e.flatLen }
+
+// Steps returns the number of optimizer steps taken.
+func (e *Engine) Steps() int { return e.step }
+
+// Epoch returns the number of completed training epochs.
+func (e *Engine) Epoch() int { return e.epoch }
+
+// StepsPerEpoch returns the engine loader's steps per epoch.
+func (e *Engine) StepsPerEpoch() int { return e.loader.StepsPerEpoch() }
+
+// Stats returns cumulative activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// InSync reports whether all replicas hold bit-identical parameters.
+func (e *Engine) InSync() bool {
+	for w := 1; w < len(e.params); w++ {
+		if !autograd.ParamsEqual(e.params[w], e.params[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LoaderRNG derives the shuffling stream of an engine's loader from the run
+// seed. Exported so serial baselines can traverse the data in exactly the
+// engine's order. The stream depends only on the seed, never on the worker
+// count, so every worker count sees the same global batches.
+func LoaderRNG(seed uint64) *tensor.RNG { return tensor.NewRNG(seed).Split(0xDA7A) }
+
+// MicroshardRNG derives the deterministic randomness stream for microshard
+// m at the given step of a run seeded with seed: a pure function of
+// (seed, step, m), so the same microshard sees the same stream at every
+// worker count. Exported so serial baselines can replicate the engine's
+// randomness exactly. Supports up to 2^20 microshards.
+func MicroshardRNG(seed uint64, step, m int) *tensor.RNG {
+	return tensor.NewRNG(seed ^ 0x9E3779B97F4A7C15).Split(uint64(step)<<20 | uint64(m))
+}
+
+// SetSchedule installs (or replaces) the learning-rate schedule applied to
+// every replica optimizer before each update. Useful when the schedule can
+// only be built after the replicas exist.
+func (e *Engine) SetSchedule(s opt.Schedule) { e.cfg.Schedule = s }
+
+// chunkRange returns ring chunk c's half-open range in the flat vector,
+// using the same contiguous-split arithmetic as data.Shard.
+func (e *Engine) chunkRange(c int) (lo, hi int) {
+	return c * e.flatLen / e.chunks, (c + 1) * e.flatLen / e.chunks
+}
+
+// StepNext draws the next global minibatch from the engine's loader and
+// executes one synchronous data-parallel step, returning the mean loss.
+func (e *Engine) StepNext() float64 {
+	idx, _ := e.loader.Next()
+	return e.Step(idx)
+}
+
+// TrainEpoch runs one full pass over the training data and returns the mean
+// per-step loss.
+func (e *Engine) TrainEpoch() float64 {
+	steps := e.loader.StepsPerEpoch()
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		total += e.StepNext()
+	}
+	e.epoch++
+	return total / float64(steps)
+}
+
+// Step executes one synchronous data-parallel training step over the given
+// global minibatch indices: each worker computes its microshards' gradients,
+// the workers ring-all-reduce the flattened gradients, and every replica
+// applies the identical aggregated update once. Returns the global mean
+// loss (the microshard-size-weighted mean, equal to the mean over all
+// examples).
+func (e *Engine) Step(idx []int) float64 {
+	start := time.Now()
+	K, F := e.cfg.Workers, e.cfg.Microshards
+
+	shards := make([][]int, F)
+	for m := range shards {
+		shards[m] = data.Shard(idx, m, F)
+	}
+	invB := 1 / float64(len(idx))
+
+	if K == 1 {
+		e.runWorker(0, shards, invB, nil, nil)
+	} else {
+		// Ring links (allocated in New). reduceCh[w] carries
+		// partially-reduced chunks from worker w-1 to worker w (the
+		// reduce-scatter leg, flowing 0 -> 1 -> ... -> K-1); gatherCh[w]
+		// carries fully-reduced chunks to worker w (the all-gather leg,
+		// flowing K-1 -> 0 -> ... -> K-2). Capacity Chunks makes every
+		// send non-blocking, so the two legs pipeline freely without
+		// deadlock, and both channel sets drain completely each step.
+		var wg sync.WaitGroup
+		wg.Add(K)
+		for w := 0; w < K; w++ {
+			go func(w int) {
+				defer wg.Done()
+				e.runWorker(w, shards, invB, e.reduceCh, e.gatherCh)
+			}(w)
+		}
+		wg.Wait()
+		e.stats.RingMessages += 2 * (K - 1) * e.chunks
+		e.stats.RingBytes += 2 * (K - 1) * e.flatLen * 8
+	}
+
+	e.step++
+	e.stats.Steps++
+	e.stats.StepTime += time.Since(start)
+
+	// Weighted losses sum to the global mean loss; fixed ascending-m order
+	// keeps the value worker-count-invariant too.
+	loss := 0.0
+	for m := 0; m < F; m++ {
+		loss += e.losses[m]
+	}
+	return loss
+}
+
+// runWorker is one worker's contribution to a step: local microshard
+// gradients, the ring exchange, and the local optimizer update. Worker w
+// owns the contiguous microshards [w·F/K, (w+1)·F/K).
+func (e *Engine) runWorker(w int, shards [][]int, invB float64, reduce, gather []chan []float64) {
+	K, F := e.cfg.Workers, e.cfg.Microshards
+	mlo, mhi := w*F/K, (w+1)*F/K
+	rep := e.replicas[w]
+	params := e.params[w]
+
+	// --- Local compute: one forward/backward per owned microshard ---
+	for m := mlo; m < mhi; m++ {
+		row := e.gbuf[m]
+		shard := shards[m]
+		if len(shard) == 0 {
+			for i := range row {
+				row[i] = 0
+			}
+			e.losses[m] = 0
+			continue
+		}
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		tape := autograd.NewTape()
+		loss := rep.Model.MicrobatchLoss(tape, shard, MicroshardRNG(e.cfg.Seed, e.step, m))
+		tape.Backward(loss)
+		// Weight by the microshard's share of the global batch so the
+		// reduced vector is the gradient of the global mean loss.
+		wgt := float64(len(shard)) * invB
+		autograd.FlattenGradsScaled(row, params, wgt)
+		e.losses[m] = loss.Scalar() * wgt
+	}
+
+	// --- Ring all-reduce over the flattened gradient ---
+	agg := e.agg[w]
+	if K == 1 {
+		// Degenerate ring: same ascending-microshard accumulation order as
+		// the multi-worker path, chunk by chunk.
+		for c := 0; c < e.chunks; c++ {
+			lo, hi := e.chunkRange(c)
+			for i := lo; i < hi; i++ {
+				agg[i] = 0
+			}
+			for m := 0; m < F; m++ {
+				row := e.gbuf[m]
+				for i := lo; i < hi; i++ {
+					agg[i] += row[i]
+				}
+			}
+		}
+	} else {
+		// Reduce-scatter leg: chunk c starts as a zero buffer at worker 0
+		// and flows up the ring; each worker adds its owned microshard rows
+		// in ascending order, so the finished chunk at worker K-1 is the
+		// ascending-m sum — the fixed reduction order the determinism
+		// contract requires.
+		for c := 0; c < e.chunks; c++ {
+			lo, hi := e.chunkRange(c)
+			var buf []float64
+			if w == 0 {
+				buf = e.ringbuf[c]
+				for i := range buf {
+					buf[i] = 0
+				}
+			} else {
+				buf = <-reduce[w]
+			}
+			for m := mlo; m < mhi; m++ {
+				row := e.gbuf[m]
+				for i := lo; i < hi; i++ {
+					buf[i-lo] += row[i]
+				}
+			}
+			if w < K-1 {
+				reduce[w+1] <- buf
+			} else {
+				copy(agg[lo:hi], buf)
+				gather[0] <- buf // start the all-gather leg
+			}
+		}
+		// All-gather leg: fully-reduced chunks flow K-1 -> 0 -> ... -> K-2;
+		// every worker copies each chunk into its local aggregate.
+		if w < K-1 {
+			for c := 0; c < e.chunks; c++ {
+				buf := <-gather[w]
+				lo, hi := e.chunkRange(c)
+				copy(agg[lo:hi], buf)
+				if w+1 < K-1 {
+					gather[w+1] <- buf
+				}
+			}
+		}
+	}
+
+	// --- Apply the aggregated gradient once per step ---
+	autograd.ScatterGrads(agg, params)
+	opt.ApplySchedule(rep.Opt, e.cfg.Schedule, e.step)
+	rep.Opt.Step()
+}

@@ -1,0 +1,36 @@
+package dist
+
+// Workload adapts an Engine to the models.Workload interface (structurally —
+// no models import is needed), so data-parallel training plugs into
+// core.Run/core.RunSet unchanged: the harness drives TrainEpoch/Evaluate,
+// applies the §3.2.1 timing rules, and emits compliant MLLOG streams while
+// the engine trains across K workers under the hood.
+type Workload struct {
+	name string
+	eng  *Engine
+	eval func() float64
+}
+
+// NewWorkload wraps an engine. eval computes the benchmark's quality metric,
+// conventionally from replica 0 (replicas hold bit-identical parameters).
+func NewWorkload(name string, eng *Engine, eval func() float64) *Workload {
+	return &Workload{name: name, eng: eng, eval: eval}
+}
+
+// Name implements models.Workload.
+func (w *Workload) Name() string { return w.name }
+
+// TrainEpoch implements models.Workload.
+func (w *Workload) TrainEpoch() float64 { return w.eng.TrainEpoch() }
+
+// Evaluate implements models.Workload.
+func (w *Workload) Evaluate() float64 { return w.eval() }
+
+// Epoch implements models.Workload.
+func (w *Workload) Epoch() int { return w.eng.Epoch() }
+
+// Steps implements models.StepCounter.
+func (w *Workload) Steps() int { return w.eng.Steps() }
+
+// Engine exposes the underlying engine (stats, replicas).
+func (w *Workload) Engine() *Engine { return w.eng }

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/binary"
 	"math"
 	"sort"
 
@@ -231,15 +232,21 @@ func BLEU(candidates, references [][]int) float64 {
 	return 100 * bp * math.Exp(logSum/maxN)
 }
 
-// ngramCounts returns the multiset of n-grams encoded as strings of ids.
+// ngramCounts returns the multiset of n-grams keyed by the varint byte
+// encoding of their token ids. An earlier version encoded ids with
+// string(rune(id)), which collapses every id >= 0x110000 and the surrogate
+// range 0xD800–0xDFFF to U+FFFD — completely different sequences in those
+// ranges scored BLEU 100 against each other. Varint bytes are injective for
+// all int token ids.
 func ngramCounts(seq []int, n int) map[string]int {
 	out := map[string]int{}
+	buf := make([]byte, 0, n*binary.MaxVarintLen64)
 	for i := 0; i+n <= len(seq); i++ {
-		key := ""
+		buf = buf[:0]
 		for j := i; j < i+n; j++ {
-			key += string(rune(seq[j])) + "\x00"
+			buf = binary.AppendVarint(buf, int64(seq[j]))
 		}
-		out[key]++
+		out[string(buf)]++
 	}
 	return out
 }

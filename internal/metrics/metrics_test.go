@@ -215,3 +215,24 @@ func TestMoveMatch(t *testing.T) {
 		t.Fatal("move match")
 	}
 }
+
+// Regression: n-gram keys were built with string(rune(id)), which collapses
+// every id >= 0x110000 and the surrogate range 0xD800–0xDFFF to U+FFFD.
+// Two completely different sequences in those ranges scored BLEU 100
+// against each other. Varint byte keys are injective for all ids.
+func TestBLEULargeTokenIDsDoNotCollide(t *testing.T) {
+	cand := [][]int{{0x110000, 7, 0x110002, 9}}
+	ref := [][]int{{0xD800, 7, 0xDFFF, 9}}
+	if got := BLEU(cand, ref); got != 0 {
+		t.Fatalf("disjoint large-id sequences scored BLEU %v, want 0", got)
+	}
+	// Surrogate-range ids must also be distinguishable from each other.
+	if got := BLEU([][]int{{0xD800, 0xD801}}, [][]int{{0xD802, 0xD803}}); got != 0 {
+		t.Fatalf("distinct surrogate-range ids scored BLEU %v, want 0", got)
+	}
+	// Genuinely identical sequences still score 100 regardless of range.
+	same := [][]int{{0x110000, 0xD800, 0x7FFFFFFF, 3, 42}}
+	if got := BLEU(same, same); got < 99.999 {
+		t.Fatalf("identical sequences scored BLEU %v, want 100", got)
+	}
+}

@@ -1,0 +1,53 @@
+package models
+
+// Microbatch adapters: the internal/dist data-parallel engine drives
+// workloads through a finer-grained contract than Workload — it owns the
+// loader, tape, and optimizer step itself and only needs the forward pass
+// for one microshard of a global batch. The methods below satisfy
+// dist.Trainable structurally. All stochasticity (negative sampling,
+// augmentation) flows through the rng argument, which the engine derives
+// from (seed, step, microshard), so a microshard sees identical randomness
+// at every worker count — the bit-identity invariant dist's tests assert.
+
+import (
+	"repro/internal/autograd"
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Params exposes the recommendation workload's trainable parameters
+// (dist.Trainable contract).
+func (w *Recommendation) Params() []*autograd.Param { return w.params }
+
+// MicrobatchLoss builds the NCF training loss for one microshard of
+// interaction indices (dist.Trainable contract). Negative sampling draws
+// from the supplied rng rather than the workload's sequential stream.
+func (w *Recommendation) MicrobatchLoss(tape *autograd.Tape, idx []int, rng *tensor.RNG) *autograd.Var {
+	users, items, labels := w.DS.TrainBatch(idx, w.HP.NegRatio, rng)
+	ctx := nn.NewCtx(tape, true, rng)
+	logits := w.Net.Forward(ctx, users, items)
+	return autograd.BCEWithLogits(logits, labels)
+}
+
+// Params exposes the image-classification workload's trainable parameters
+// (dist.Trainable contract).
+func (w *ImageClassification) Params() []*autograd.Param { return w.params }
+
+// MicrobatchLoss builds the ResNet training loss for one microshard of
+// image indices (dist.Trainable contract). Augmentation draws from the
+// supplied rng. Batch-norm statistics are computed per microshard (ghost
+// batch norm, as in real data-parallel training without synchronized BN),
+// and running eval statistics accumulate per replica; trainable parameters
+// remain bit-identical across replicas. The Figure-1 precision policy is
+// not applied on this path — data-parallel runs train in full precision.
+func (w *ImageClassification) MicrobatchLoss(tape *autograd.Tape, idx []int, rng *tensor.RNG) *autograd.Var {
+	var aug *datasets.Augment
+	if w.HP.Augment {
+		aug = &datasets.Augment{Flip: true, CropPad: 1, Jitter: 0.1, RNG: rng}
+	}
+	x, labels := w.DS.Batch(true, idx, aug)
+	ctx := nn.NewCtx(tape, true, rng)
+	logits := w.Net.Forward(ctx, autograd.Const(x))
+	return autograd.SoftmaxCrossEntropy(logits, labels)
+}

@@ -36,9 +36,7 @@ type StepCounter interface {
 // applySchedule updates an optimizer from a schedule at the given step;
 // a nil schedule leaves the rate unchanged.
 func applySchedule(o opt.Optimizer, s opt.Schedule, step int) {
-	if s != nil {
-		o.SetLR(s.At(step))
-	}
+	opt.ApplySchedule(o, s, step)
 }
 
 // trainStep factors the common tape lifecycle: zero grads, run forward to

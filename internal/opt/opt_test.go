@@ -236,3 +236,55 @@ func TestStepMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Two optimizer instances of the same kind, driven with bit-identical
+// parameters and gradients, must produce bit-identical updates — the
+// replica-synchronization invariant the internal/dist data-parallel engine
+// relies on (every replica applies the aggregated gradient through its own
+// optimizer instance).
+func TestOptimizersDeterministicAcrossInstances(t *testing.T) {
+	build := func(name string, params []*autograd.Param) Optimizer {
+		switch name {
+		case "sgd-torch":
+			return NewSGD(params, 0.05, 0.9, 1e-4, TorchStyle)
+		case "sgd-caffe":
+			return NewSGD(params, 0.05, 0.9, 1e-4, CaffeStyle)
+		case "adam":
+			return NewAdam(params, 0.002, 0.9, 0.999, 1e-8, 1e-5)
+		case "lars":
+			return NewLARS(params, 0.05, 0.9, 1e-4, 0.02)
+		}
+		panic(name)
+	}
+	for _, name := range []string{"sgd-torch", "sgd-caffe", "adam", "lars"} {
+		mk := func() ([]*autograd.Param, Optimizer) {
+			rng := tensor.NewRNG(31)
+			params := []*autograd.Param{
+				autograd.NewParam("w", tensor.Randn(rng, 0.3, 4, 4)),
+				autograd.NewParam("b", tensor.Randn(rng, 0.3, 4)),
+			}
+			return params, build(name, params)
+		}
+		pa, oa := mk()
+		pb, ob := mk()
+		grng := tensor.NewRNG(77)
+		for step := 0; step < 5; step++ {
+			for i := range pa {
+				for j := range pa[i].Grad.Data {
+					g := grng.Norm()
+					pa[i].Grad.Data[j] = g
+					pb[i].Grad.Data[j] = g
+				}
+			}
+			if step == 3 { // schedule changes must stay in lockstep too
+				oa.SetLR(0.01)
+				ob.SetLR(0.01)
+			}
+			oa.Step()
+			ob.Step()
+		}
+		if !autograd.ParamsEqual(pa, pb) {
+			t.Fatalf("%s: identical gradient streams produced diverging parameters", name)
+		}
+	}
+}
