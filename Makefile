@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test test-short bench bench-kernels
+BENCH_SMOKE_OUT ?= bench-smoke.out
+
+.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels
 
 all: check
 
-# The CI gate: formatting, static checks, a full build, and the fast tests.
-check: fmt vet build test-short
+# Everything CI runs, in the same order — reproduce any CI failure locally
+# with exactly `make ci` (the workflow jobs call these same targets).
+ci: check race bench-smoke
+
+# The fast gate: formatting, static checks, a full build, and the fast tests.
+check: fmt vet staticcheck build test-short
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -13,6 +19,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when installed (CI installs the same pinned version:
+# go install honnef.co/go/tools/cmd/staticcheck@2025.1.1).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -25,9 +40,23 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over the fast suite: the dist ring, the parallel pool,
+# the run-set executor, and the arena are all concurrency-heavy.
+race:
+	$(GO) test -race -short ./...
+
 # Every table/figure benchmark plus the kernel microbenchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Compile-and-run-once smoke over every benchmark in the repo, then fail if
+# any steady-state step benchmark (BenchmarkStepAllocs*) reports a nonzero
+# allocs/op — the allocation-free training-step regression gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > $(BENCH_SMOKE_OUT) || (cat $(BENCH_SMOKE_OUT); exit 1)
+	@cat $(BENCH_SMOKE_OUT)
+	@awk '/^BenchmarkStepAllocs/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: steady-state step allocates: " $$0; bad = 1 } } \
+		END { if (bad) exit 1; print "bench-smoke: all BenchmarkStepAllocs* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
 
 # Just the serial-vs-parallel substrate comparisons.
 bench-kernels:

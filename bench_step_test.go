@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/models"
+)
+
+// Steady-state allocation benchmarks: after a short warmup, a training
+// step must perform ZERO heap allocations — the tensor arena, the pooled
+// autograd tape, the persistent dist workers, and the reused batch buffers
+// together keep GC entirely out of the hot loop, so step time stays flat
+// no matter how long training runs (the time-to-train property §3.2
+// measures). CI's bench-smoke job greps these benchmarks' -benchmem output
+// and fails on any nonzero allocs/op.
+//
+// The kernel pool is pinned to 1 worker: parallelism comes from the
+// persistent data-parallel workers (which allocate nothing per step), while
+// a forked kernel loop would pay one goroutine spawn per fork. DropLast
+// keeps every global batch full-size so warm tape slots never resize.
+
+const stepAllocsWarmup = 6
+
+func benchStepAllocsNCF(b *testing.B, workers int) {
+	withPoolWorkers(b, 1)
+	ds := datasets.GenerateRec(datasets.DefaultRecConfig())
+	hp := models.DefaultNCFHParams()
+	eng, err := dist.New(dist.Config{
+		Workers: workers, Microshards: 8,
+		GlobalBatch: 256, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
+	}, func(worker int) dist.Replica {
+		m := models.NewRecommendation(ds, hp, 1)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close) // not deferred: the timer only stops after this function returns, and Close's arena Puts would be timed
+	for i := 0; i < stepAllocsWarmup; i++ {
+		eng.StepNext()
+	}
+	// Setup allocated megabytes (dataset, replicas); collect that debris
+	// now so a GC cycle's own bookkeeping cannot land inside the timed
+	// region. Once warm the loop allocates nothing, so no further GC can
+	// trigger — that is the property under test.
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepNext()
+	}
+}
+
+func benchStepAllocsResNet(b *testing.B, workers int) {
+	withPoolWorkers(b, 1)
+	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
+	hp := models.DefaultImageHParams()
+	eng, err := dist.New(dist.Config{
+		Workers: workers, Microshards: 8,
+		GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: 1, DropLast: true,
+	}, func(worker int) dist.Replica {
+		m := models.NewImageClassification(ds, hp, 1)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close) // not deferred: the timer only stops after this function returns, and Close's arena Puts would be timed
+	for i := 0; i < stepAllocsWarmup; i++ {
+		eng.StepNext()
+	}
+	runtime.GC() // see benchStepAllocsNCF
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepNext()
+	}
+}
+
+func BenchmarkStepAllocsNCF(b *testing.B)       { benchStepAllocsNCF(b, 1) }
+func BenchmarkStepAllocsNCFDP4(b *testing.B)    { benchStepAllocsNCF(b, 4) }
+func BenchmarkStepAllocsResNet(b *testing.B)    { benchStepAllocsResNet(b, 1) }
+func BenchmarkStepAllocsResNetDP4(b *testing.B) { benchStepAllocsResNet(b, 4) }

@@ -7,8 +7,12 @@
 //
 //	internal/core       — suite, runner, timing rules, aggregation (the paper's contribution)
 //	internal/parallel   — worker pool + sharded loops (deterministic parallel substrate)
+//	internal/arena      — size-bucketed []float64 pool with per-worker free
+//	                      lists; backs the allocation-free steady-state
+//	                      training step (0 allocs/op after warmup)
 //	internal/tensor     — dense tensors + deterministic RNG
-//	internal/autograd   — tape-based reverse-mode autodiff
+//	internal/autograd   — tape-based reverse-mode autodiff (pooled, replayable
+//	                      tapes: Reset + slot reuse keep warm steps alloc-free)
 //	internal/nn         — layer library (conv, BN, LSTM, attention, ...)
 //	internal/opt        — SGD (both §2.2.4 momentum forms), Adam, LARS, schedules
 //	internal/precision  — simulated numeric formats (Figure 1)

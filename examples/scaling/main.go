@@ -109,6 +109,7 @@ func runMeasured(steps, batch int) {
 		fmt.Printf("  workers %d: %10s/step   speedup %.2fx   ring traffic %6.1f KiB/step\n",
 			k, perStep.Round(time.Microsecond), speedup,
 			float64(st.RingBytes)/float64(st.Steps)/1024)
+		eng.Close()
 	}
 
 	// Calibrate the analytic Figure-4/5 workload model against the measured

@@ -1,0 +1,219 @@
+// Package arena implements a size-bucketed, goroutine-safe pool of
+// []float64 buffers for the steady-state training hot paths. MLPerf's
+// time-to-train metric rewards implementations whose per-step cost is flat
+// — in Go terms, training loops that stop exercising the garbage collector
+// once warm. The tensor substrate (tensor.NewIn / Tensor.Release), the
+// autograd tape, and the data-parallel engine all draw their scratch and
+// activation buffers from an Arena, so after the first step every buffer a
+// step needs is recycled from the previous one and the steady-state
+// allocation count is zero.
+//
+// Buffers are grouped into power-of-two size classes. The shared Arena
+// guards each class with its own mutex; workers that want uncontended
+// access wrap the Arena in a Local (NewLocal), a single-goroutine free
+// list that batches refills from and spills to the parent.
+package arena
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// maxClass bounds the supported size classes: class c holds buffers of
+// capacity 2^c, so the largest poolable buffer is 2^(maxClass-1) elements
+// (512 Mi float64s — 4 GiB — far beyond any tensor in this repository).
+const maxClass = 30
+
+// Allocator is the buffer-source contract shared by Arena and Local.
+// Get returns a zero-filled slice of length n; Put recycles a slice
+// previously returned by Get on the same allocator family.
+type Allocator interface {
+	Get(n int) []float64
+	Put(buf []float64)
+}
+
+// class returns the size-class index for a buffer of n elements: the
+// smallest c with 2^c >= n.
+func class(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Stats counts arena traffic. Gets and Puts include traffic through Local
+// caches only when it spills into the shared arena.
+type Stats struct {
+	// Gets is the number of Get calls served by the shared arena.
+	Gets uint64
+	// Puts is the number of Put calls received by the shared arena.
+	Puts uint64
+	// Misses is the number of Gets that found an empty free list and had
+	// to allocate a fresh buffer from the Go heap.
+	Misses uint64
+}
+
+// Arena is a goroutine-safe, size-bucketed buffer pool. The zero value is
+// not usable; construct with New.
+type Arena struct {
+	buckets [maxClass + 1]bucket
+
+	gets   atomic.Uint64
+	puts   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// bucket is one size class: a mutex-guarded stack of idle buffers.
+type bucket struct {
+	mu   sync.Mutex
+	free [][]float64
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// Get returns a zero-filled slice of length n (capacity rounded up to the
+// class size). n == 0 returns nil. The caller owns the buffer until it
+// passes it back via Put.
+func (a *Arena) Get(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("arena: Get(%d)", n))
+	}
+	a.gets.Add(1)
+	c := class(n)
+	if c > maxClass {
+		// Beyond the poolable range: plain heap allocation, never pooled
+		// (Put drops such buffers for the GC to reclaim).
+		a.misses.Add(1)
+		return make([]float64, n)
+	}
+	b := &a.buckets[c]
+	b.mu.Lock()
+	if len(b.free) > 0 {
+		buf := b.free[len(b.free)-1]
+		b.free[len(b.free)-1] = nil
+		b.free = b.free[:len(b.free)-1]
+		b.mu.Unlock()
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	b.mu.Unlock()
+	a.misses.Add(1)
+	return make([]float64, n, 1<<c)
+}
+
+// Put recycles a buffer previously returned by Get. It accepts any slice
+// whose capacity is at least one full size class (foreign buffers are
+// filed under the largest class that fits), ignores nil/empty slices and
+// buffers beyond the poolable range (Get never serves those from the pool,
+// so retaining them would only pin memory), and panics when buf is already
+// the most recently filed buffer of its class — the cheap
+// immediate-double-Put check; Tensor.Release layers a precise one on top.
+func (a *Arena) Put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	// File under the largest class the capacity fully covers, so a later
+	// Get of that class can hand this buffer out.
+	c := bits.Len(uint(cap(buf))) - 1
+	if c > maxClass {
+		return
+	}
+	a.puts.Add(1)
+	buf = buf[:1<<c]
+	b := &a.buckets[c]
+	b.mu.Lock()
+	if n := len(b.free); n > 0 && &b.free[n-1][0] == &buf[0] {
+		b.mu.Unlock()
+		panic("arena: double Put of the same buffer")
+	}
+	b.free = append(b.free, buf)
+	b.mu.Unlock()
+}
+
+// Stats returns cumulative traffic counters for the shared arena.
+func (a *Arena) Stats() Stats {
+	return Stats{Gets: a.gets.Load(), Puts: a.puts.Load(), Misses: a.misses.Load()}
+}
+
+// localKeep is how many idle buffers per class a Local retains before
+// spilling to the parent arena.
+const localKeep = 8
+
+// Local is a per-worker free list in front of a shared Arena: Get and Put
+// hit the local stacks without locking and fall through to the parent only
+// on miss or overflow. A Local must be used by one goroutine at a time
+// (e.g. one data-parallel worker); the parent arena provides the safe
+// cross-worker exchange.
+type Local struct {
+	parent *Arena
+	free   [maxClass + 1][][]float64
+}
+
+// NewLocal returns a per-worker cache backed by the arena.
+func (a *Arena) NewLocal() *Local { return &Local{parent: a} }
+
+// Get returns a zero-filled slice of length n, preferring the local free
+// list over the shared arena.
+func (l *Local) Get(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("arena: Get(%d)", n))
+	}
+	c := class(n)
+	if c > maxClass {
+		return l.parent.Get(n)
+	}
+	if s := l.free[c]; len(s) > 0 {
+		buf := s[len(s)-1]
+		s[len(s)-1] = nil
+		l.free[c] = s[:len(s)-1]
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return l.parent.Get(n)
+}
+
+// Put recycles a buffer into the local free list, spilling to the parent
+// arena when the class is full.
+func (l *Local) Put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(buf))) - 1
+	if c > maxClass {
+		return // beyond the poolable range; let the GC reclaim it
+	}
+	if len(l.free[c]) >= localKeep {
+		l.parent.Put(buf)
+		return
+	}
+	buf = buf[:1<<c]
+	if n := len(l.free[c]); n > 0 && &l.free[c][n-1][0] == &buf[0] {
+		panic("arena: double Put of the same buffer")
+	}
+	l.free[c] = append(l.free[c], buf)
+}
+
+// Flush spills every locally cached buffer back to the parent arena.
+func (l *Local) Flush() {
+	for c := range l.free {
+		for _, buf := range l.free[c] {
+			l.parent.Put(buf)
+		}
+		l.free[c] = l.free[c][:0]
+	}
+}

@@ -1,0 +1,201 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassBoundaries(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{8, 3}, {9, 4}, {1023, 10}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := class(c.n); got != c.want {
+			t.Errorf("class(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetReturnsZeroedAndCorrectLength(t *testing.T) {
+	a := New()
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 1000, 1024, 1025} {
+		buf := a.Get(n)
+		if len(buf) != n {
+			t.Fatalf("Get(%d): len %d", n, len(buf))
+		}
+		if cap(buf) != 1<<class(n) {
+			t.Fatalf("Get(%d): cap %d, want %d", n, cap(buf), 1<<class(n))
+		}
+		for i := range buf {
+			buf[i] = 42 // dirty before recycling
+		}
+		a.Put(buf)
+	}
+	// Recycled buffers must come back zeroed.
+	buf := a.Get(1000)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestGetZeroAndNilPut(t *testing.T) {
+	a := New()
+	if buf := a.Get(0); buf != nil {
+		t.Fatalf("Get(0) = %v, want nil", buf)
+	}
+	a.Put(nil) // must not panic
+	l := a.NewLocal()
+	if buf := l.Get(0); buf != nil {
+		t.Fatalf("Local.Get(0) = %v, want nil", buf)
+	}
+	l.Put(nil)
+}
+
+func TestReuseSameBacking(t *testing.T) {
+	a := New()
+	b1 := a.Get(100)
+	p1 := &b1[0]
+	a.Put(b1)
+	b2 := a.Get(70) // same class (128)
+	if &b2[0] != p1 {
+		t.Fatal("Get after Put did not reuse the pooled buffer")
+	}
+	s := a.Stats()
+	if s.Gets != 2 || s.Misses != 1 || s.Puts != 1 {
+		t.Fatalf("stats = %+v, want 2 gets / 1 miss / 1 put", s)
+	}
+}
+
+func TestDoublePutPanics(t *testing.T) {
+	a := New()
+	buf := a.Get(64)
+	a.Put(buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put of the same buffer did not panic")
+		}
+	}()
+	a.Put(buf)
+}
+
+func TestLocalDoublePutPanics(t *testing.T) {
+	a := New()
+	l := a.NewLocal()
+	buf := l.Get(64)
+	l.Put(buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Local.Put of the same buffer did not panic")
+		}
+	}()
+	l.Put(buf)
+}
+
+func TestLocalSpillAndFlush(t *testing.T) {
+	a := New()
+	l := a.NewLocal()
+	var bufs [][]float64
+	for i := 0; i < localKeep+3; i++ {
+		bufs = append(bufs, a.Get(32))
+	}
+	for _, b := range bufs {
+		l.Put(b)
+	}
+	// localKeep stay local, the rest spill to the parent.
+	if got := a.Stats().Puts; got != 3 {
+		t.Fatalf("parent puts = %d, want 3 spills", got)
+	}
+	l.Flush()
+	if got := a.Stats().Puts; got != uint64(localKeep+3) {
+		t.Fatalf("parent puts after Flush = %d, want %d", got, localKeep+3)
+	}
+	// All buffers are reachable from the parent again.
+	for i := 0; i < localKeep+3; i++ {
+		a.Get(32)
+	}
+	if m := a.Stats().Misses; m != uint64(localKeep)+3 {
+		t.Fatalf("misses = %d, want %d (every refill served from pool)", m, localKeep+3)
+	}
+}
+
+// TestConcurrentStress hammers one shared arena from many goroutines (run
+// under -race in CI). Each goroutine cycles Get/Put over mixed size
+// classes and verifies it never observes another goroutine's writes in a
+// buffer it owns.
+func TestConcurrentStress(t *testing.T) {
+	a := New()
+	const workers = 8
+	iters := 2000
+	if testing.Short() {
+		iters = 500
+	}
+	sizes := []int{1, 7, 64, 100, 1024, 4000}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			l := a.NewLocal()
+			held := make([][]float64, 0, 4)
+			for i := 0; i < iters; i++ {
+				n := sizes[(i+w)%len(sizes)]
+				var buf []float64
+				if i%2 == 0 {
+					buf = a.Get(n)
+				} else {
+					buf = l.Get(n)
+				}
+				for j := range buf {
+					if buf[j] != 0 {
+						t.Errorf("worker %d: dirty buffer", w)
+						return
+					}
+					buf[j] = float64(w + 1)
+				}
+				held = append(held, buf)
+				if len(held) == cap(held) {
+					for _, h := range held {
+						for j := range h {
+							if h[j] != float64(w+1) {
+								t.Errorf("worker %d: foreign write observed", w)
+								return
+							}
+						}
+						if i%2 == 0 {
+							a.Put(h)
+						} else {
+							l.Put(h)
+						}
+					}
+					held = held[:0]
+				}
+			}
+			l.Flush()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestWarmGetPutAllocFree asserts the steady-state contract: once a class
+// is warm, Get/Put cycles perform zero heap allocations.
+func TestWarmGetPutAllocFree(t *testing.T) {
+	a := New()
+	a.Put(a.Get(300)) // warm the class
+	if n := testing.AllocsPerRun(100, func() {
+		buf := a.Get(300)
+		a.Put(buf)
+	}); n != 0 {
+		t.Fatalf("warm Arena Get/Put allocates %v per op, want 0", n)
+	}
+	l := a.NewLocal()
+	l.Put(l.Get(300))
+	if n := testing.AllocsPerRun(100, func() {
+		buf := l.Get(300)
+		l.Put(buf)
+	}); n != 0 {
+		t.Fatalf("warm Local Get/Put allocates %v per op, want 0", n)
+	}
+}

@@ -10,11 +10,32 @@
 //	w := tape.Watch(param)           // leaf: grads accumulate into param.Grad
 //	loss := autograd.SoftmaxCrossEntropy(autograd.MatMul(x, w), labels)
 //	tape.Backward(loss)
+//
+// # Steady-state replay
+//
+// Training steps execute the same op sequence with the same shapes every
+// step, so the tape is built to be reused: Reset rewinds it without
+// discarding anything, and each op reclaims the node — output tensors,
+// gradient buffers, scratch space, cached kernel closures — it used at the
+// same position last pass. A warm tape therefore runs a full
+// forward/backward step with zero heap allocations, the property the
+// BenchmarkStepAllocs* benchmarks and internal/dist's steady-state tests
+// assert. Tapes built with NewTapeIn draw their tensor buffers from an
+// arena, so even cold growth recycles pooled memory.
+//
+//	tape := autograd.NewTapeIn(workerArena)
+//	for step := 0; step < N; step++ {
+//		tape.Reset()
+//		loss := model.Loss(tape, batch(step))
+//		tape.Backward(loss)
+//		opt.Step()
+//	}
 package autograd
 
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/tensor"
 )
 
@@ -34,23 +55,54 @@ func NewParam(name string, value *tensor.Tensor) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
-// Tape records the backward closures of each differentiable op executed in
-// a forward pass and replays them in reverse on Backward.
+// Tape records the backward pass of each differentiable op executed in a
+// forward pass and replays it in reverse on Backward. Nodes are pooled:
+// Reset rewinds the cursor and subsequent ops reuse the node (and all its
+// buffers) recorded at the same position on the previous pass.
 type Tape struct {
-	steps []func()
+	nodes []*node
+	n     int // active node count this pass
+
+	consts []*Var
+	nc     int // active const count this pass
+
+	watch map[*Param]*Var // cached leaf Vars, stable across passes
+
+	alloc arena.Allocator // optional buffer source for node tensors
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty tape whose buffers come from the Go heap.
 func NewTape() *Tape { return &Tape{} }
 
-// record appends a backward closure.
-func (t *Tape) record(f func()) { t.steps = append(t.steps, f) }
+// NewTapeIn returns an empty tape whose node tensors are drawn from (and,
+// when shapes change, released back to) the given arena allocator. The
+// allocator must not be shared with goroutines that run concurrently with
+// this tape unless it is itself goroutine-safe.
+func NewTapeIn(a arena.Allocator) *Tape { return &Tape{alloc: a} }
 
-// Len returns the number of recorded ops (useful in tests).
-func (t *Tape) Len() int { return len(t.steps) }
+// Reset rewinds the tape for the next forward/backward pass, keeping every
+// node and buffer for reuse. It must not be called while Vars from the
+// previous pass are still in use.
+func (t *Tape) Reset() {
+	t.n = 0
+	t.nc = 0
+}
+
+// record appends a legacy closure-based backward step. Ops recorded this
+// way allocate their closure every pass; the hot-path ops use typed nodes
+// instead.
+func (t *Tape) record(f func()) {
+	nd := t.node(opGeneric, closureBack, nil, nil, nil)
+	nd.fn = f
+}
+
+func closureBack(nd *node) { nd.fn() }
+
+// Len returns the number of recorded ops this pass (useful in tests).
+func (t *Tape) Len() int { return t.n }
 
 // Backward seeds the scalar loss gradient with 1 and runs all recorded
-// backward closures in reverse order. It panics if loss is not scalar.
+// backward steps in reverse order. It panics if loss is not scalar.
 func (t *Tape) Backward(loss *Var) {
 	if loss.Value.Size() != 1 {
 		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", loss.Value.Shape))
@@ -58,14 +110,16 @@ func (t *Tape) Backward(loss *Var) {
 	if loss.Grad != nil {
 		loss.Grad.Data[0] = 1
 	}
-	for i := len(t.steps) - 1; i >= 0; i-- {
-		t.steps[i]()
+	for i := t.n - 1; i >= 0; i-- {
+		nd := t.nodes[i]
+		nd.back(nd)
 	}
 }
 
 // Var is a node in the computation graph: a value, an optional gradient
 // buffer, and the tape it was recorded on. Vars with a nil tape are
-// constants and contribute no backward work.
+// constants and contribute no backward work. Vars produced by ops on a
+// tape are owned by that tape and are valid until its next Reset.
 type Var struct {
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
@@ -77,9 +131,18 @@ func (v *Var) NeedsGrad() bool { return v.tape != nil }
 
 // Watch registers a parameter as a differentiable leaf on the tape. The
 // returned Var shares the parameter's gradient buffer, so gradients
-// accumulate across Backward calls until Param.ZeroGrad.
+// accumulate across Backward calls until Param.ZeroGrad. Watching the same
+// parameter again returns the cached leaf.
 func (t *Tape) Watch(p *Param) *Var {
-	return &Var{Value: p.Value, Grad: p.Grad, tape: t}
+	if v, ok := t.watch[p]; ok {
+		return v
+	}
+	if t.watch == nil {
+		t.watch = make(map[*Param]*Var)
+	}
+	v := &Var{Value: p.Value, Grad: p.Grad, tape: t}
+	t.watch[p] = v
+	return v
 }
 
 // Leaf creates a differentiable leaf with a private gradient buffer.
@@ -90,6 +153,22 @@ func (t *Tape) Leaf(value *tensor.Tensor) *Var {
 
 // Const wraps a tensor as a non-differentiable input (e.g. a data batch).
 func Const(value *tensor.Tensor) *Var { return &Var{Value: value} }
+
+// ConstOf is Const with tape-pooled storage: the returned Var is reused at
+// the same position after each Reset, so steady-state loops wrap their
+// input batches without allocating. The Var is valid until the next Reset.
+func (t *Tape) ConstOf(value *tensor.Tensor) *Var {
+	var v *Var
+	if t.nc < len(t.consts) {
+		v = t.consts[t.nc]
+	} else {
+		v = &Var{}
+		t.consts = append(t.consts, v)
+	}
+	t.nc++
+	v.Value, v.Grad, v.tape = value, nil, nil
+	return v
+}
 
 // ConstScalar wraps a scalar constant.
 func ConstScalar(v float64) *Var {
@@ -115,8 +194,9 @@ func tapeOf(vs ...*Var) *Tape {
 	return nil
 }
 
-// newResult allocates the output Var of an op. When tp is nil the output is
-// a constant and no gradient buffer is allocated.
+// newResult allocates the output Var of a legacy (closure-recorded) op.
+// When tp is nil the output is a constant and no gradient buffer is
+// allocated. Node-based ops use Tape.result, which pools this storage.
 func newResult(tp *Tape, value *tensor.Tensor) *Var {
 	out := &Var{Value: value, tape: tp}
 	if tp != nil {
@@ -124,3 +204,6 @@ func newResult(tp *Tape, value *tensor.Tensor) *Var {
 	}
 	return out
 }
+
+// constResult wraps an op output whose inputs were all constants.
+func constResult(value *tensor.Tensor) *Var { return &Var{Value: value} }

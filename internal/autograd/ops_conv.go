@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -15,47 +16,142 @@ func Conv2D(x, w, b *Var, stride, pad int) *Var {
 		bt = b.Value
 	}
 	tp := tapeOf(x, w, b)
-	out := newResult(tp, tensor.Conv2D(x.Value, w.Value, bt, stride, pad))
-	if tp != nil {
-		tp.record(func() {
-			dx, dw, db := tensor.Conv2DBackward(x.Value, w.Value, out.Grad, stride, pad, b != nil)
-			if x.tape != nil {
-				x.Grad.AddInPlace(dx)
-			}
-			if w.tape != nil {
-				w.Grad.AddInPlace(dw)
-			}
-			if b != nil && b.tape != nil {
-				b.Grad.AddInPlace(db)
-			}
-		})
+	if tp == nil {
+		return constResult(tensor.Conv2D(x.Value, w.Value, bt, stride, pad))
 	}
+	if x.Value.Rank() != 4 || w.Value.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D requires rank-4 operands, got %v, %v", x.Value.Shape, w.Value.Shape))
+	}
+	n, c, h, wd := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
+	f, c2, kh, kw := w.Value.Shape[0], w.Value.Shape[1], w.Value.Shape[2], w.Value.Shape[3]
+	if c != c2 {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch %v vs %v", x.Value.Shape, w.Value.Shape))
+	}
+	ho, wo := tensor.ConvOut(h, kh, stride, pad), tensor.ConvOut(wd, kw, stride, pad)
+	nd := tp.node(opConv, conv2DBack, x, w, b)
+	nd.i0, nd.i1 = stride, pad
+	nd.flag = b != nil
+	out := tp.result(nd, n, f, ho, wo)
+	if nd.fwd == nil {
+		nd.fwd = func(lo, hi int) {
+			var bias *tensor.Tensor
+			if nd.c != nil {
+				bias = nd.c.Value
+			}
+			tensor.Conv2DPlanes(nd.out.Value, nd.a.Value, nd.b.Value, bias, nd.i0, nd.i1, lo, hi)
+		}
+		nd.bwd = func(lo, hi int) {
+			tensor.Conv2DBackwardDxSamples(nd.t0, nd.a.Value, nd.b.Value, nd.out.Grad, nd.i0, nd.i1, lo, hi)
+		}
+		nd.bwd2 = func(lo, hi int) {
+			tensor.Conv2DBackwardDwFilters(nd.t1, nd.t2, nd.a.Value, nd.out.Grad, nd.i0, nd.i1, nd.flag, lo, hi)
+		}
+	}
+	planeCost := float64(ho * wo * c * kh * kw)
+	parallel.ForCost(n*f, planeCost, nd.fwd)
 	return out
+}
+
+func conv2DBack(nd *node) {
+	x, w, b := nd.a, nd.b, nd.c
+	stride, pad := nd.i0, nd.i1
+	hasBias := nd.flag
+	n, c := x.Value.Shape[0], x.Value.Shape[1]
+	f, kh, kw := w.Value.Shape[0], w.Value.Shape[2], w.Value.Shape[3]
+	ho, wo := nd.out.Value.Shape[2], nd.out.Value.Shape[3]
+
+	// Pooled scratch gradients, zeroed to match the fresh allocations of
+	// the non-pooled path (bit-identity oracle).
+	dx := nd.tape.ensureTensor(&nd.t0, x.Value.Shape...)
+	dw := nd.tape.ensureTensor(&nd.t1, w.Value.Shape...)
+	dx.Zero()
+	dw.Zero()
+	var db *tensor.Tensor
+	if hasBias {
+		db = nd.tape.ensureTensor(&nd.t2, f)
+		db.Zero()
+	}
+
+	planeCost := float64(ho * wo * c * kh * kw)
+	if !parallel.Worth(2 * planeCost * float64(n*f)) {
+		tensor.Conv2DBackwardSerialInto(dx, dw, db, x.Value, w.Value, nd.out.Grad, stride, pad, hasBias)
+	} else {
+		parallel.ForCost(n, planeCost*float64(f), nd.bwd)
+		parallel.ForCost(f, planeCost*float64(n), nd.bwd2)
+	}
+
+	if x.tape != nil {
+		x.Grad.AddInPlace(dx)
+	}
+	if w.tape != nil {
+		w.Grad.AddInPlace(dw)
+	}
+	if b != nil && b.tape != nil {
+		b.Grad.AddInPlace(db)
+	}
 }
 
 // MaxPool2D applies square max pooling with window k and stride s.
 func MaxPool2D(x *Var, k, s int) *Var {
-	val, arg := tensor.MaxPool2D(x.Value, k, s)
 	tp := tapeOf(x)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			x.Grad.AddInPlace(tensor.MaxPool2DBackward(x.Value.Shape, arg, out.Grad))
-		})
+	if tp == nil {
+		val, _ := tensor.MaxPool2D(x.Value, k, s)
+		return constResult(val)
 	}
+	n, c := x.Value.Shape[0], x.Value.Shape[1]
+	ho := tensor.ConvOut(x.Value.Shape[2], k, s, 0)
+	wo := tensor.ConvOut(x.Value.Shape[3], k, s, 0)
+	nd := tp.node(opGeneric, maxPool2DBack, x, nil, nil)
+	nd.i0, nd.i1 = k, s
+	out := tp.result(nd, n, c, ho, wo)
+	nd.idx = intsCap(nd.idx, out.Value.Size())
+	tensor.MaxPool2DInto(out.Value, nd.idx, x.Value, k, s)
 	return out
+}
+
+func maxPool2DBack(nd *node) {
+	x := nd.a
+	// Scatter into pooled scratch first, then accumulate — the same
+	// two-stage order as the non-pooled path, so bits match exactly even
+	// when pooling windows overlap.
+	dx := nd.tape.ensureTensor(&nd.t0, x.Value.Shape...)
+	dx.Zero()
+	for i, g := range nd.out.Grad.Data {
+		if nd.idx[i] >= 0 {
+			dx.Data[nd.idx[i]] += g
+		}
+	}
+	x.Grad.AddInPlace(dx)
 }
 
 // GlobalAvgPool2D reduces [N,C,H,W] to [N,C] by spatial averaging.
 func GlobalAvgPool2D(x *Var) *Var {
 	tp := tapeOf(x)
-	out := newResult(tp, tensor.GlobalAvgPool2D(x.Value))
-	if tp != nil {
-		tp.record(func() {
-			x.Grad.AddInPlace(tensor.GlobalAvgPool2DBackward(x.Value.Shape, out.Grad))
-		})
+	if tp == nil {
+		return constResult(tensor.GlobalAvgPool2D(x.Value))
 	}
+	nd := tp.node(opGeneric, globalAvgPool2DBack, x, nil, nil)
+	out := tp.result(nd, x.Value.Shape[0], x.Value.Shape[1])
+	tensor.GlobalAvgPool2DInto(out.Value, x.Value)
 	return out
+}
+
+func globalAvgPool2DBack(nd *node) {
+	// Each input element receives exactly one gradient term, so direct
+	// accumulation is bit-identical to scratch-then-add.
+	x := nd.a
+	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
+	plane := h * w
+	inv := 1.0 / float64(plane)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			g := nd.out.Grad.Data[in*c+ic] * inv
+			base := ((in*c + ic) * h) * w
+			for p := 0; p < plane; p++ {
+				x.Grad.Data[base+p] += g
+			}
+		}
+	}
 }
 
 // BatchNorm2D normalizes each channel of an NCHW input over (N,H,W) using
@@ -71,8 +167,24 @@ func BatchNorm2D(x, gamma, beta *Var, runMean, runVar *tensor.Tensor, momentum, 
 	plane := h * w
 	m := float64(n * plane)
 
-	mean := make([]float64, c)
-	variance := make([]float64, c)
+	tp := tapeOf(x, gamma, beta)
+	var nd *node
+	var mean, variance, invStd, xhat []float64
+	var val *tensor.Tensor
+	if tp != nil {
+		nd = tp.node(opGeneric, batchNorm2DBack, x, gamma, beta)
+		nd.flag = train
+		nd.buf2 = floatsCap(nd.buf2, 3*c)
+		mean, variance, invStd = nd.buf2[0:c], nd.buf2[c:2*c], nd.buf2[2*c:3*c]
+		nd.buf = floatsCap(nd.buf, x.Value.Size())
+		xhat = nd.buf
+	} else {
+		stats := make([]float64, 3*c)
+		mean, variance, invStd = stats[0:c], stats[c:2*c], stats[2*c:3*c]
+		xhat = make([]float64, x.Value.Size())
+		val = tensor.New(x.Value.Shape...)
+	}
+
 	if train {
 		for ic := 0; ic < c; ic++ {
 			s := 0.0
@@ -104,12 +216,15 @@ func BatchNorm2D(x, gamma, beta *Var, runMean, runVar *tensor.Tensor, momentum, 
 		copy(variance, runVar.Data)
 	}
 
-	invStd := make([]float64, c)
 	for ic := 0; ic < c; ic++ {
 		invStd[ic] = 1 / math.Sqrt(variance[ic]+eps)
 	}
-	val := tensor.New(x.Value.Shape...)
-	xhat := make([]float64, len(x.Value.Data))
+
+	var out *Var
+	if tp != nil {
+		out = tp.result(nd, x.Value.Shape...)
+		val = out.Value
+	}
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			base := ((in*c + ic) * h) * w
@@ -121,52 +236,60 @@ func BatchNorm2D(x, gamma, beta *Var, runMean, runVar *tensor.Tensor, momentum, 
 			}
 		}
 	}
+	if tp == nil {
+		return constResult(val)
+	}
+	return out
+}
 
-	tp := tapeOf(x, gamma, beta)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			for ic := 0; ic < c; ic++ {
-				sumDy, sumDyXhat := 0.0, 0.0
+func batchNorm2DBack(nd *node) {
+	x, gamma, beta := nd.a, nd.b, nd.c
+	train := nd.flag
+	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
+	plane := h * w
+	m := float64(n * plane)
+	xhat := nd.buf
+	invStd := nd.buf2[2*c : 3*c]
+	out := &nd.out
+
+	for ic := 0; ic < c; ic++ {
+		sumDy, sumDyXhat := 0.0, 0.0
+		for in := 0; in < n; in++ {
+			base := ((in*c + ic) * h) * w
+			for p := 0; p < plane; p++ {
+				dy := out.Grad.Data[base+p]
+				sumDy += dy
+				sumDyXhat += dy * xhat[base+p]
+			}
+		}
+		if gamma.tape != nil {
+			gamma.Grad.Data[ic] += sumDyXhat
+		}
+		if beta.tape != nil {
+			beta.Grad.Data[ic] += sumDy
+		}
+		if x.tape != nil {
+			g := gamma.Value.Data[ic]
+			if train {
+				// Full batch-stat gradient.
 				for in := 0; in < n; in++ {
 					base := ((in*c + ic) * h) * w
 					for p := 0; p < plane; p++ {
 						dy := out.Grad.Data[base+p]
-						sumDy += dy
-						sumDyXhat += dy * xhat[base+p]
+						x.Grad.Data[base+p] += g * invStd[ic] *
+							(dy - sumDy/m - xhat[base+p]*sumDyXhat/m)
 					}
 				}
-				if gamma.tape != nil {
-					gamma.Grad.Data[ic] += sumDyXhat
-				}
-				if beta.tape != nil {
-					beta.Grad.Data[ic] += sumDy
-				}
-				if x.tape != nil {
-					g := gamma.Value.Data[ic]
-					if train {
-						// Full batch-stat gradient.
-						for in := 0; in < n; in++ {
-							base := ((in*c + ic) * h) * w
-							for p := 0; p < plane; p++ {
-								dy := out.Grad.Data[base+p]
-								x.Grad.Data[base+p] += g * invStd[ic] *
-									(dy - sumDy/m - xhat[base+p]*sumDyXhat/m)
-							}
-						}
-					} else {
-						for in := 0; in < n; in++ {
-							base := ((in*c + ic) * h) * w
-							for p := 0; p < plane; p++ {
-								x.Grad.Data[base+p] += g * invStd[ic] * out.Grad.Data[base+p]
-							}
-						}
+			} else {
+				for in := 0; in < n; in++ {
+					base := ((in*c + ic) * h) * w
+					for p := 0; p < plane; p++ {
+						x.Grad.Data[base+p] += g * invStd[ic] * out.Grad.Data[base+p]
 					}
 				}
 			}
-		})
+		}
 	}
-	return out
 }
 
 // LayerNorm normalizes each row of a 2-D var (the Transformer normalization).
@@ -175,9 +298,22 @@ func LayerNorm(x, gamma, beta *Var, eps float64) *Var {
 	if gamma.Value.Size() != m || beta.Value.Size() != m {
 		panic("autograd: LayerNorm gamma/beta size mismatch")
 	}
-	val := tensor.New(n, m)
-	xhat := make([]float64, n*m)
-	invStd := make([]float64, n)
+	tp := tapeOf(x, gamma, beta)
+	var nd *node
+	var xhat, invStd []float64
+	var val *tensor.Tensor
+	if tp != nil {
+		nd = tp.node(opGeneric, layerNormBack, x, gamma, beta)
+		nd.buf = floatsCap(nd.buf, n*m)
+		nd.buf2 = floatsCap(nd.buf2, n)
+		xhat, invStd = nd.buf, nd.buf2
+		out := tp.result(nd, n, m)
+		val = out.Value
+	} else {
+		xhat = make([]float64, n*m)
+		invStd = make([]float64, n)
+		val = tensor.New(n, m)
+	}
 	for i := 0; i < n; i++ {
 		row := x.Value.Data[i*m : (i+1)*m]
 		mu := 0.0
@@ -199,35 +335,39 @@ func LayerNorm(x, gamma, beta *Var, eps float64) *Var {
 			val.Data[i*m+j] = gamma.Value.Data[j]*xh + beta.Value.Data[j]
 		}
 	}
-	tp := tapeOf(x, gamma, beta)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			mf := float64(m)
-			for i := 0; i < n; i++ {
-				sumDy, sumDyXhat := 0.0, 0.0
-				for j := 0; j < m; j++ {
-					dy := out.Grad.Data[i*m+j] * gamma.Value.Data[j]
-					sumDy += dy
-					sumDyXhat += dy * xhat[i*m+j]
-				}
-				for j := 0; j < m; j++ {
-					dy := out.Grad.Data[i*m+j]
-					if gamma.tape != nil {
-						gamma.Grad.Data[j] += dy * xhat[i*m+j]
-					}
-					if beta.tape != nil {
-						beta.Grad.Data[j] += dy
-					}
-					if x.tape != nil {
-						dyg := dy * gamma.Value.Data[j]
-						x.Grad.Data[i*m+j] += invStd[i] * (dyg - sumDy/mf - xhat[i*m+j]*sumDyXhat/mf)
-					}
-				}
-			}
-		})
+	if tp == nil {
+		return constResult(val)
 	}
-	return out
+	return &nd.out
+}
+
+func layerNormBack(nd *node) {
+	x, gamma, beta := nd.a, nd.b, nd.c
+	n, m := x.Value.Shape[0], x.Value.Shape[1]
+	xhat, invStd := nd.buf, nd.buf2
+	out := &nd.out
+	mf := float64(m)
+	for i := 0; i < n; i++ {
+		sumDy, sumDyXhat := 0.0, 0.0
+		for j := 0; j < m; j++ {
+			dy := out.Grad.Data[i*m+j] * gamma.Value.Data[j]
+			sumDy += dy
+			sumDyXhat += dy * xhat[i*m+j]
+		}
+		for j := 0; j < m; j++ {
+			dy := out.Grad.Data[i*m+j]
+			if gamma.tape != nil {
+				gamma.Grad.Data[j] += dy * xhat[i*m+j]
+			}
+			if beta.tape != nil {
+				beta.Grad.Data[j] += dy
+			}
+			if x.tape != nil {
+				dyg := dy * gamma.Value.Data[j]
+				x.Grad.Data[i*m+j] += invStd[i] * (dyg - sumDy/mf - xhat[i*m+j]*sumDyXhat/mf)
+			}
+		}
+	}
 }
 
 // RoIBox describes a region of interest in feature-map coordinates for

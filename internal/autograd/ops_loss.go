@@ -11,20 +11,12 @@ import (
 // tokens in translation batches).
 const IgnoreLabel = -1
 
-// SoftmaxCrossEntropy fuses a row softmax with negative log-likelihood over
-// integer class labels, returning the mean loss over non-ignored rows.
-// The fused gradient (p - onehot)/n is far better conditioned than composing
-// Softmax and Log, which is why every framework fuses it.
-func SoftmaxCrossEntropy(logits *Var, labels []int) *Var {
-	n, m := logits.Value.Shape[0], logits.Value.Shape[1]
-	if len(labels) != n {
-		panic(fmt.Sprintf("autograd: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
-	}
-	probs := tensor.New(n, m)
-	loss := 0.0
-	count := 0
+// softmaxCEForward fills probs with row softmaxes of logits and returns the
+// mean NLL over non-ignored labels plus the non-ignored count (min 1).
+func softmaxCEForward(probs []float64, logits *tensor.Tensor, labels []int) (loss float64, count int) {
+	n, m := logits.Shape[0], logits.Shape[1]
 	for i := 0; i < n; i++ {
-		row := logits.Value.Data[i*m : (i+1)*m]
+		row := logits.Data[i*m : (i+1)*m]
 		mx := row[0]
 		for _, v := range row[1:] {
 			if v > mx {
@@ -34,11 +26,11 @@ func SoftmaxCrossEntropy(logits *Var, labels []int) *Var {
 		s := 0.0
 		for j, v := range row {
 			e := math.Exp(v - mx)
-			probs.Data[i*m+j] = e
+			probs[i*m+j] = e
 			s += e
 		}
 		for j := 0; j < m; j++ {
-			probs.Data[i*m+j] /= s
+			probs[i*m+j] /= s
 		}
 		if labels[i] == IgnoreLabel {
 			continue
@@ -46,35 +38,57 @@ func SoftmaxCrossEntropy(logits *Var, labels []int) *Var {
 		if labels[i] < 0 || labels[i] >= m {
 			panic(fmt.Sprintf("autograd: label %d out of %d classes", labels[i], m))
 		}
-		p := probs.Data[i*m+labels[i]]
+		p := probs[i*m+labels[i]]
 		loss -= math.Log(math.Max(p, 1e-300))
 		count++
 	}
 	if count == 0 {
 		count = 1
 	}
-	val := tensor.FromSlice([]float64{loss / float64(count)}, 1)
-	tp := tapeOf(logits)
-	out := newResult(tp, val)
-	if tp != nil {
-		lab := append([]int(nil), labels...)
-		tp.record(func() {
-			g := out.Grad.Data[0] / float64(count)
-			for i := 0; i < n; i++ {
-				if lab[i] == IgnoreLabel {
-					continue
-				}
-				for j := 0; j < m; j++ {
-					d := probs.Data[i*m+j]
-					if j == lab[i] {
-						d -= 1
-					}
-					logits.Grad.Data[i*m+j] += g * d
-				}
-			}
-		})
+	return loss, count
+}
+
+// SoftmaxCrossEntropy fuses a row softmax with negative log-likelihood over
+// integer class labels, returning the mean loss over non-ignored rows.
+// The fused gradient (p - onehot)/n is far better conditioned than composing
+// Softmax and Log, which is why every framework fuses it.
+func SoftmaxCrossEntropy(logits *Var, labels []int) *Var {
+	n, m := logits.Value.Shape[0], logits.Value.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("autograd: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
 	}
+	tp := tapeOf(logits)
+	if tp == nil {
+		probs := make([]float64, n*m)
+		loss, count := softmaxCEForward(probs, logits.Value, labels)
+		return constResult(tensor.FromSlice([]float64{loss / float64(count)}, 1))
+	}
+	nd := tp.node(opGeneric, softmaxCEBack, logits, nil, nil)
+	nd.buf = floatsCap(nd.buf, n*m)
+	nd.idx = append(nd.idx[:0], labels...)
+	loss, count := softmaxCEForward(nd.buf, logits.Value, labels)
+	nd.i0 = count
+	out := tp.result(nd, 1)
+	out.Value.Data[0] = loss / float64(count)
 	return out
+}
+
+func softmaxCEBack(nd *node) {
+	logits := nd.a
+	n, m := logits.Value.Shape[0], logits.Value.Shape[1]
+	g := nd.out.Grad.Data[0] / float64(nd.i0)
+	for i := 0; i < n; i++ {
+		if nd.idx[i] == IgnoreLabel {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			d := nd.buf[i*m+j]
+			if j == nd.idx[i] {
+				d -= 1
+			}
+			logits.Grad.Data[i*m+j] += g * d
+		}
+	}
 }
 
 // BCEWithLogits computes mean binary cross-entropy between logits and
@@ -90,20 +104,25 @@ func BCEWithLogits(logits *Var, targets []float64) *Var {
 		// max(x,0) - x*t + log(1+exp(-|x|))
 		loss += math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
 	}
-	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
 	tp := tapeOf(logits)
-	out := newResult(tp, val)
-	if tp != nil {
-		tgt := append([]float64(nil), targets...)
-		tp.record(func() {
-			g := out.Grad.Data[0] / float64(n)
-			for i := 0; i < n; i++ {
-				sig := 1 / (1 + math.Exp(-logits.Value.Data[i]))
-				logits.Grad.Data[i] += g * (sig - tgt[i])
-			}
-		})
+	if tp == nil {
+		return constResult(tensor.FromSlice([]float64{loss / float64(n)}, 1))
 	}
+	nd := tp.node(opGeneric, bceBack, logits, nil, nil)
+	nd.buf = append(nd.buf[:0], targets...)
+	out := tp.result(nd, 1)
+	out.Value.Data[0] = loss / float64(n)
 	return out
+}
+
+func bceBack(nd *node) {
+	logits := nd.a
+	n := logits.Value.Size()
+	g := nd.out.Grad.Data[0] / float64(n)
+	for i := 0; i < n; i++ {
+		sig := 1 / (1 + math.Exp(-logits.Value.Data[i]))
+		logits.Grad.Data[i] += g * (sig - nd.buf[i])
+	}
 }
 
 // MSE returns the mean squared error between pred and a constant target.
@@ -117,18 +136,24 @@ func MSE(pred *Var, target *tensor.Tensor) *Var {
 		d := pred.Value.Data[i] - target.Data[i]
 		loss += d * d
 	}
-	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
 	tp := tapeOf(pred)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			g := out.Grad.Data[0] * 2 / float64(n)
-			for i := 0; i < n; i++ {
-				pred.Grad.Data[i] += g * (pred.Value.Data[i] - target.Data[i])
-			}
-		})
+	if tp == nil {
+		return constResult(tensor.FromSlice([]float64{loss / float64(n)}, 1))
 	}
+	nd := tp.node(opGeneric, mseBack, pred, nil, nil)
+	nd.aux = target
+	out := tp.result(nd, 1)
+	out.Value.Data[0] = loss / float64(n)
 	return out
+}
+
+func mseBack(nd *node) {
+	pred, target := nd.a, nd.aux
+	n := pred.Value.Size()
+	g := nd.out.Grad.Data[0] * 2 / float64(n)
+	for i := 0; i < n; i++ {
+		pred.Grad.Data[i] += g * (pred.Value.Data[i] - target.Data[i])
+	}
 }
 
 // SmoothL1 returns the mean Huber loss (delta=1) between pred and a constant
@@ -147,26 +172,62 @@ func SmoothL1(pred *Var, target *tensor.Tensor) *Var {
 			loss += a - 0.5
 		}
 	}
-	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
 	tp := tapeOf(pred)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			g := out.Grad.Data[0] / float64(n)
-			for i := 0; i < n; i++ {
-				d := pred.Value.Data[i] - target.Data[i]
-				switch {
-				case d > 1:
-					pred.Grad.Data[i] += g
-				case d < -1:
-					pred.Grad.Data[i] -= g
-				default:
-					pred.Grad.Data[i] += g * d
-				}
-			}
-		})
+	if tp == nil {
+		return constResult(tensor.FromSlice([]float64{loss / float64(n)}, 1))
 	}
+	nd := tp.node(opGeneric, smoothL1Back, pred, nil, nil)
+	nd.aux = target
+	out := tp.result(nd, 1)
+	out.Value.Data[0] = loss / float64(n)
 	return out
+}
+
+func smoothL1Back(nd *node) {
+	pred, target := nd.a, nd.aux
+	n := pred.Value.Size()
+	g := nd.out.Grad.Data[0] / float64(n)
+	for i := 0; i < n; i++ {
+		d := pred.Value.Data[i] - target.Data[i]
+		switch {
+		case d > 1:
+			pred.Grad.Data[i] += g
+		case d < -1:
+			pred.Grad.Data[i] -= g
+		default:
+			pred.Grad.Data[i] += g * d
+		}
+	}
+}
+
+// softCEForward fills probs with row softmaxes and returns the total
+// -Σ π·log p loss against soft target rows.
+func softCEForward(probs []float64, logits, targets *tensor.Tensor) float64 {
+	n, m := logits.Shape[0], logits.Shape[1]
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*m : (i+1)*m]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			probs[i*m+j] = e
+			s += e
+		}
+		logZ := math.Log(s) + mx
+		for j := 0; j < m; j++ {
+			probs[i*m+j] /= s
+			if t := targets.Data[i*m+j]; t > 0 {
+				loss -= t * (row[j] - logZ)
+			}
+		}
+	}
+	return loss
 }
 
 // SoftCrossEntropy is cross-entropy against soft target distributions
@@ -177,40 +238,26 @@ func SoftCrossEntropy(logits *Var, targets *tensor.Tensor) *Var {
 	if targets.Size() != n*m {
 		panic("autograd: SoftCrossEntropy target size mismatch")
 	}
-	probs := tensor.New(n, m)
-	loss := 0.0
-	for i := 0; i < n; i++ {
-		row := logits.Value.Data[i*m : (i+1)*m]
-		mx := row[0]
-		for _, v := range row[1:] {
-			if v > mx {
-				mx = v
-			}
-		}
-		s := 0.0
-		for j, v := range row {
-			e := math.Exp(v - mx)
-			probs.Data[i*m+j] = e
-			s += e
-		}
-		logZ := math.Log(s) + mx
-		for j := 0; j < m; j++ {
-			probs.Data[i*m+j] /= s
-			if t := targets.Data[i*m+j]; t > 0 {
-				loss -= t * (row[j] - logZ)
-			}
-		}
-	}
-	val := tensor.FromSlice([]float64{loss / float64(n)}, 1)
 	tp := tapeOf(logits)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			g := out.Grad.Data[0] / float64(n)
-			for i := 0; i < n*m; i++ {
-				logits.Grad.Data[i] += g * (probs.Data[i] - targets.Data[i])
-			}
-		})
+	if tp == nil {
+		probs := make([]float64, n*m)
+		loss := softCEForward(probs, logits.Value, targets)
+		return constResult(tensor.FromSlice([]float64{loss / float64(n)}, 1))
 	}
+	nd := tp.node(opGeneric, softCEBack, logits, nil, nil)
+	nd.aux = targets
+	nd.buf = floatsCap(nd.buf, n*m)
+	loss := softCEForward(nd.buf, logits.Value, targets)
+	out := tp.result(nd, 1)
+	out.Value.Data[0] = loss / float64(n)
 	return out
+}
+
+func softCEBack(nd *node) {
+	logits, targets := nd.a, nd.aux
+	n, m := logits.Value.Shape[0], logits.Value.Shape[1]
+	g := nd.out.Grad.Data[0] / float64(n)
+	for i := 0; i < n*m; i++ {
+		logits.Grad.Data[i] += g * (nd.buf[i] - targets.Data[i])
+	}
 }

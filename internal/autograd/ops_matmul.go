@@ -3,6 +3,7 @@ package autograd
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -10,30 +11,83 @@ import (
 // Gradients: da = dout·bᵀ, db = aᵀ·dout.
 func MatMul(a, b *Var) *Var {
 	tp := tapeOf(a, b)
-	out := newResult(tp, tensor.MatMul(a.Value, b.Value))
-	if tp != nil {
-		tp.record(func() {
-			if a.tape != nil {
-				a.Grad.AddInPlace(tensor.MatMulTransB(out.Grad, b.Value))
-			}
-			if b.tape != nil {
-				b.Grad.AddInPlace(tensor.MatMulTransA(a.Value, out.Grad))
-			}
-		})
+	if tp == nil {
+		return constResult(tensor.MatMul(a.Value, b.Value))
 	}
+	if a.Value.Rank() != 2 || b.Value.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Value.Shape, b.Value.Shape))
+	}
+	n, k := a.Value.Shape[0], a.Value.Shape[1]
+	k2, m := b.Value.Shape[0], b.Value.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Value.Shape, b.Value.Shape))
+	}
+	nd := tp.node(opMatMul, matMulBack, a, b, nil)
+	out := tp.result(nd, n, m)
+	if nd.fwd == nil {
+		// Cached kernel closures capture only the node and read the current
+		// operands at call time, so one allocation serves every pass.
+		nd.fwd = func(lo, hi int) { tensor.MatMulRows(nd.out.Value, nd.a.Value, nd.b.Value, lo, hi) }
+		nd.bwd = func(lo, hi int) { tensor.MatMulTransBRows(nd.t0, nd.out.Grad, nd.b.Value, lo, hi) }
+		nd.bwd2 = func(lo, hi int) { tensor.MatMulTransARows(nd.t1, nd.a.Value, nd.out.Grad, lo, hi) }
+	}
+	parallel.ForCost(n, float64(k*m), nd.fwd)
 	return out
+}
+
+func matMulBack(nd *node) {
+	a, b := nd.a, nd.b
+	n, k := a.Value.Shape[0], a.Value.Shape[1]
+	m := b.Value.Shape[1]
+	if a.tape != nil {
+		// da = dout·bᵀ, computed into pooled scratch and then accumulated,
+		// matching the allocate-then-AddInPlace bits of the original op.
+		nd.tape.ensureTensor(&nd.t0, n, k)
+		parallel.ForCost(n, float64(k*m), nd.bwd)
+		a.Grad.AddInPlace(nd.t0)
+	}
+	if b.tape != nil {
+		// db = aᵀ·dout.
+		nd.tape.ensureTensor(&nd.t1, k, m)
+		parallel.ForCost(k, float64(n*m), nd.bwd2)
+		b.Grad.AddInPlace(nd.t1)
+	}
 }
 
 // Transpose returns aᵀ for a 2-D var.
 func Transpose(a *Var) *Var {
 	tp := tapeOf(a)
-	out := newResult(tp, tensor.Transpose2D(a.Value))
-	if tp != nil {
-		tp.record(func() {
-			a.Grad.AddInPlace(tensor.Transpose2D(out.Grad))
-		})
+	if tp == nil {
+		return constResult(tensor.Transpose2D(a.Value))
 	}
+	if a.Value.Rank() != 2 {
+		panic("tensor: Transpose2D requires rank 2")
+	}
+	nd := tp.node(opGeneric, transposeBack, a, nil, nil)
+	out := tp.result(nd, a.Value.Shape[1], a.Value.Shape[0])
+	transpose2DInto(out.Value, a.Value)
 	return out
+}
+
+func transpose2DInto(dst, a *tensor.Tensor) {
+	n, m := a.Shape[0], a.Shape[1]
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			dst.Data[j*n+i] = a.Data[i*m+j]
+		}
+	}
+}
+
+func transposeBack(nd *node) {
+	// Each grad element receives exactly one term, so accumulating directly
+	// is bit-identical to transposing into scratch first.
+	a, out := nd.a, &nd.out
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			a.Grad.Data[i*m+j] += out.Grad.Data[j*n+i]
+		}
+	}
 }
 
 // RowSum reduces a [n,m] var to [n,1] by summing each row.
@@ -41,59 +95,77 @@ func RowSum(a *Var) *Var {
 	if a.Value.Rank() != 2 {
 		panic(fmt.Sprintf("autograd: RowSum of shape %v", a.Value.Shape))
 	}
-	n, m := a.Value.Shape[0], a.Value.Shape[1]
-	val := tensor.New(n, 1)
+	n := a.Value.Shape[0]
+	tp := tapeOf(a)
+	if tp == nil {
+		val := tensor.New(n, 1)
+		rowSum(val, a.Value)
+		return constResult(val)
+	}
+	nd := tp.node(opGeneric, rowSumBack, a, nil, nil)
+	out := tp.result(nd, n, 1)
+	rowSum(out.Value, a.Value)
+	return out
+}
+
+func rowSum(dst, a *tensor.Tensor) {
+	n, m := a.Shape[0], a.Shape[1]
 	for i := 0; i < n; i++ {
 		s := 0.0
 		for j := 0; j < m; j++ {
-			s += a.Value.Data[i*m+j]
+			s += a.Data[i*m+j]
 		}
-		val.Data[i] = s
+		dst.Data[i] = s
 	}
-	tp := tapeOf(a)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			for i := 0; i < n; i++ {
-				g := out.Grad.Data[i]
-				for j := 0; j < m; j++ {
-					a.Grad.Data[i*m+j] += g
-				}
-			}
-		})
+}
+
+func rowSumBack(nd *node) {
+	a, out := nd.a, &nd.out
+	n, m := a.Value.Shape[0], a.Value.Shape[1]
+	for i := 0; i < n; i++ {
+		g := out.Grad.Data[i]
+		for j := 0; j < m; j++ {
+			a.Grad.Data[i*m+j] += g
+		}
 	}
-	return out
 }
 
 // Sum reduces to a scalar.
 func Sum(a *Var) *Var {
-	val := tensor.FromSlice([]float64{a.Value.Sum()}, 1)
 	tp := tapeOf(a)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			g := out.Grad.Data[0]
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += g
-			}
-		})
+	if tp == nil {
+		return constResult(tensor.FromSlice([]float64{a.Value.Sum()}, 1))
 	}
+	nd := tp.node(opGeneric, sumBack, a, nil, nil)
+	out := tp.result(nd, 1)
+	out.Value.Data[0] = a.Value.Sum()
 	return out
+}
+
+func sumBack(nd *node) {
+	g := nd.out.Grad.Data[0]
+	for i := range nd.a.Grad.Data {
+		nd.a.Grad.Data[i] += g
+	}
 }
 
 // Mean reduces to the scalar arithmetic mean.
 func Mean(a *Var) *Var {
 	n := float64(a.Value.Size())
-	val := tensor.FromSlice([]float64{a.Value.Sum() / n}, 1)
 	tp := tapeOf(a)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			g := out.Grad.Data[0] / n
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += g
-			}
-		})
+	if tp == nil {
+		return constResult(tensor.FromSlice([]float64{a.Value.Sum() / n}, 1))
 	}
+	nd := tp.node(opGeneric, meanBack, a, nil, nil)
+	nd.f0 = n
+	out := tp.result(nd, 1)
+	out.Value.Data[0] = a.Value.Sum() / n
 	return out
+}
+
+func meanBack(nd *node) {
+	g := nd.out.Grad.Data[0] / nd.f0
+	for i := range nd.a.Grad.Data {
+		nd.a.Grad.Data[i] += g
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/dist"
 	"repro/internal/models"
 )
@@ -38,6 +39,13 @@ func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, err
 		return Benchmark{}, fmt.Errorf("core: microshards %d must be a multiple of the data-parallel worker count %d", microshards, workers)
 	}
 
+	// One arena for all of this benchmark's runs: each run's engine draws
+	// its gradient/aggregate/ring buffers from the shared pool and Close
+	// (called by core.Run at run end) returns them, so a run set recycles
+	// buffers across runs instead of growing the heap. The arena is
+	// goroutine-safe, so concurrent run sets can share it too.
+	pool := arena.New()
+
 	switch id {
 	case "recommendation":
 		ds := recDSOnce()
@@ -46,7 +54,7 @@ func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, err
 			var reps []*models.Recommendation
 			eng, err := dist.New(dist.Config{
 				Workers: workers, Microshards: microshards,
-				GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: seed,
+				GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: seed, Arena: pool,
 			}, func(worker int) dist.Replica {
 				m := models.NewRecommendation(ds, hp, seed)
 				reps = append(reps, m)
@@ -64,7 +72,7 @@ func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, err
 			var reps []*models.ImageClassification
 			eng, err := dist.New(dist.Config{
 				Workers: workers, Microshards: microshards,
-				GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
+				GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: seed, Arena: pool,
 			}, func(worker int) dist.Replica {
 				m := models.NewImageClassification(ds, hp, seed)
 				reps = append(reps, m)

@@ -142,6 +142,12 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 	logger.Simple(ms(runStop), mlog.KeyRunStop, status)
 	logger.Simple(ms(runStop), mlog.KeyStatus, status)
 	res.TimeToTrain = runStop - runStart + penalty
+	// Tear down workloads that hold resources beyond the run: the
+	// data-parallel engine parks persistent worker goroutines and pools
+	// buffers in its arena until closed.
+	if c, ok := w.(interface{ Close() }); ok {
+		c.Close()
+	}
 	return res
 }
 

@@ -26,6 +26,7 @@ type Loader struct {
 
 	rng   *tensor.RNG
 	order []int
+	batch []int
 	pos   int
 	epoch int
 }
@@ -41,7 +42,9 @@ func NewLoader(n, batch int, rng *tensor.RNG) *Loader {
 }
 
 func (l *Loader) reshuffle() {
-	l.order = l.rng.Perm(l.N)
+	// PermInto draws the same stream as Perm but reuses the backing array,
+	// so per-epoch reshuffles are allocation-free after the first.
+	l.order = l.rng.PermInto(l.order, l.N)
 	l.pos = 0
 }
 
@@ -68,7 +71,9 @@ func (l *Loader) StepsPerEpoch() int {
 }
 
 // Next returns the next minibatch of example indices and whether this batch
-// begins a new epoch.
+// begins a new epoch. The returned slice is owned by the loader and only
+// valid until the following Next call — steady-state training loops consume
+// it immediately, which keeps the hot path allocation-free.
 func (l *Loader) Next() (idx []int, newEpoch bool) {
 	l.checkDropLast()
 	if l.pos >= l.N || (l.DropLast && l.pos+l.Batch > l.N) {
@@ -80,9 +85,9 @@ func (l *Loader) Next() (idx []int, newEpoch bool) {
 	if end > l.N {
 		end = l.N
 	}
-	idx = append([]int(nil), l.order[l.pos:end]...)
+	l.batch = append(l.batch[:0], l.order[l.pos:end]...)
 	l.pos = end
-	return idx, newEpoch
+	return l.batch, newEpoch
 }
 
 // Shard splits a batch across data-parallel workers: worker w of k receives

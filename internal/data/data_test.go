@@ -86,7 +86,8 @@ func TestLoaderDeterministicPerSeed(t *testing.T) {
 
 func TestLoaderShufflesBetweenEpochs(t *testing.T) {
 	l := NewLoader(32, 32, tensor.NewRNG(3))
-	a, _ := l.Next()
+	first, _ := l.Next()
+	a := append([]int(nil), first...) // Next's slice is only valid until the next call
 	b, _ := l.Next()
 	same := true
 	for i := range a {
@@ -246,7 +247,7 @@ func TestShardedLoaderDeterministicAcrossWorkerCounts(t *testing.T) {
 		var out [][]int
 		for i := 0; i < 12; i++ {
 			idx, _ := l.Next()
-			out = append(out, idx)
+			out = append(out, append([]int(nil), idx...))
 		}
 		return out
 	}

@@ -119,14 +119,30 @@ func clampInt(v, lo, hi int) int {
 // tensor plus labels. When aug is non-nil each image is augmented — the
 // per-epoch stochastic work the timing rules require inside the timed loop.
 func (d *ImageDataset) Batch(train bool, idx []int, aug *Augment) (*tensor.Tensor, []int) {
+	return d.BatchInto(nil, nil, train, idx, aug)
+}
+
+// BatchInto is Batch with caller-owned storage: out is reused when its
+// size matches len(idx) (only the batch dimension is rewritten) and labels
+// when its capacity suffices. Pass nil for either to allocate fresh — the
+// steady-state training loops pass persistent buffers so batch assembly
+// allocates nothing once warm.
+func (d *ImageDataset) BatchInto(out *tensor.Tensor, labels []int, train bool, idx []int, aug *Augment) (*tensor.Tensor, []int) {
 	src, srcLabels := d.Train, d.TrainLabels
 	if !train {
 		src, srcLabels = d.Val, d.ValLabels
 	}
 	c, s := d.Cfg.Channels, d.Cfg.Size
 	plane := c * s * s
-	out := tensor.New(len(idx), c, s, s)
-	labels := make([]int, len(idx))
+	if out == nil || out.Size() != len(idx)*plane {
+		out = tensor.New(len(idx), c, s, s)
+	} else {
+		out.Shape = append(out.Shape[:0], len(idx), c, s, s)
+	}
+	if cap(labels) < len(idx) {
+		labels = make([]int, len(idx))
+	}
+	labels = labels[:len(idx)]
 	for bi, id := range idx {
 		copy(out.Data[bi*plane:(bi+1)*plane], src.Data[id*plane:(id+1)*plane])
 		labels[bi] = srcLabels[id]
@@ -145,6 +161,10 @@ type Augment struct {
 	CropPad int
 	Jitter  float64
 	RNG     *tensor.RNG
+
+	// scratch holds the pre-crop image copy, reused across Apply calls so
+	// steady-state augmentation allocates nothing.
+	scratch []float64
 }
 
 // Apply augments one CHW image stored in img (len == c*s*s) in place.
@@ -163,7 +183,8 @@ func (a *Augment) Apply(img []float64, c, s int) {
 		dx := a.RNG.Intn(2*a.CropPad+1) - a.CropPad
 		dy := a.RNG.Intn(2*a.CropPad+1) - a.CropPad
 		if dx != 0 || dy != 0 {
-			orig := append([]float64(nil), img...)
+			a.scratch = append(a.scratch[:0], img...)
+			orig := a.scratch
 			for ch := 0; ch < c; ch++ {
 				for y := 0; y < s; y++ {
 					for x := 0; x < s; x++ {

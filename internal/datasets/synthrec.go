@@ -122,28 +122,45 @@ func GenerateRec(cfg RecConfig) *RecDataset {
 
 // SampleNegatives returns n items the user has not interacted with.
 func (d *RecDataset) SampleNegatives(u, n int, rng *tensor.RNG) []int {
-	out := make([]int, 0, n)
-	for len(out) < n {
+	return d.appendNegatives(make([]int, 0, n), u, n, rng)
+}
+
+// appendNegatives is the one rejection-sampling implementation behind both
+// SampleNegatives and AppendTrainBatch: it appends n non-positive items
+// for user u to dst. Keeping a single copy keeps the rng draw order — and
+// therefore the serial-vs-distributed bit-identity oracle — in one place.
+func (d *RecDataset) appendNegatives(dst []int, u, n int, rng *tensor.RNG) []int {
+	for k := 0; k < n; {
 		it := rng.Intn(d.Items)
 		if !d.Positive[u][it] {
-			out = append(out, it)
+			dst = append(dst, it)
+			k++
 		}
 	}
-	return out
+	return dst
 }
 
 // TrainBatch builds a training minibatch: the positives at the given
 // interaction indices plus negRatio sampled negatives per positive.
 // Returns parallel user/item/label slices.
 func (d *RecDataset) TrainBatch(idx []int, negRatio int, rng *tensor.RNG) (users, items []int, labels []float64) {
+	return d.AppendTrainBatch(nil, nil, nil, idx, negRatio, rng)
+}
+
+// AppendTrainBatch is TrainBatch appending into caller-owned slices (pass
+// buf[:0] to reuse capacity across steps — the allocation-free form the
+// steady-state training loops use). The random stream, and therefore the
+// batch, is bit-identical to TrainBatch's.
+func (d *RecDataset) AppendTrainBatch(users, items []int, labels []float64, idx []int, negRatio int, rng *tensor.RNG) ([]int, []int, []float64) {
 	for _, id := range idx {
 		in := d.Train[id]
 		users = append(users, in.User)
 		items = append(items, in.Item)
 		labels = append(labels, 1)
-		for _, neg := range d.SampleNegatives(in.User, negRatio, rng) {
+		start := len(items)
+		items = d.appendNegatives(items, in.User, negRatio, rng)
+		for range items[start:] {
 			users = append(users, in.User)
-			items = append(items, neg)
 			labels = append(labels, 0)
 		}
 	}

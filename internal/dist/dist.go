@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/autograd"
 	"repro/internal/data"
 	"repro/internal/opt"
@@ -87,6 +88,12 @@ type Config struct {
 	// Schedule, when non-nil, sets every replica optimizer's learning rate
 	// from the global step before each update.
 	Schedule opt.Schedule
+	// Arena, when non-nil, is the shared buffer pool the engine draws its
+	// steady-state float buffers from — and returns them to on Close — so a
+	// sequence of engines (e.g. one per run of a run set) recycles buffers
+	// instead of growing the heap. Arena is goroutine-safe, so concurrent
+	// engines may share one. Nil gives the engine a private arena.
+	Arena *arena.Arena
 }
 
 // Stats counts the engine's communication and compute activity.
@@ -119,13 +126,29 @@ type Engine struct {
 	agg    [][]float64 // K per-worker aggregated gradients
 	losses []float64   // F per-microshard weighted losses
 
-	// Ring state, allocated once: both channel sets are fully drained by
-	// the end of every step, and the traveling chunk buffers are quiescent
-	// after the step barrier, so reuse keeps allocation out of the timed
-	// hot path that Stats.StepTime measures.
+	// Ring state, allocated once from the engine arena: both channel sets
+	// are fully drained by the end of every step, and the traveling chunk
+	// buffers are quiescent after the step barrier, so reuse keeps
+	// allocation out of the timed hot path that Stats.StepTime measures.
 	reduceCh []chan []float64
 	gatherCh []chan []float64
 	ringbuf  [][]float64
+
+	// Steady-state worker state. Workers are persistent goroutines (spawned
+	// in New, stopped by Close): each owns a tape whose graph buffers are
+	// pooled in a per-worker arena free list, a reusable microshard RNG,
+	// and is signaled per step through its start channel. With everything
+	// below warm, Step performs zero heap allocations — the property the
+	// steady-state benchmarks assert.
+	buffers *arena.Arena
+	tapes   []*autograd.Tape
+	locals  []*arena.Local
+	rngs    []tensor.RNG
+	shards  [][]int
+	invB    float64
+	startCh []chan struct{}
+	stepWG  sync.WaitGroup
+	closed  bool
 
 	stats Stats
 }
@@ -186,15 +209,24 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	e.loader = data.NewLoader(cfg.DatasetN, cfg.GlobalBatch, LoaderRNG(cfg.Seed))
 	e.loader.DropLast = cfg.DropLast
 
+	// All steady-state float buffers come from the engine arena: the
+	// microshard gradient rows, the per-worker aggregates, and the ring's
+	// traveling chunks. With a shared cfg.Arena, Close returns them for
+	// reuse by the next engine drawing from the same pool.
+	e.buffers = cfg.Arena
+	if e.buffers == nil {
+		e.buffers = arena.New()
+	}
 	e.gbuf = make([][]float64, cfg.Microshards)
 	for m := range e.gbuf {
-		e.gbuf[m] = make([]float64, e.flatLen)
+		e.gbuf[m] = e.buffers.Get(e.flatLen)
 	}
 	e.agg = make([][]float64, cfg.Workers)
 	for w := range e.agg {
-		e.agg[w] = make([]float64, e.flatLen)
+		e.agg[w] = e.buffers.Get(e.flatLen)
 	}
 	e.losses = make([]float64, cfg.Microshards)
+	e.shards = make([][]int, cfg.Microshards)
 	if cfg.Workers > 1 {
 		e.reduceCh = make([]chan []float64, cfg.Workers)
 		e.gatherCh = make([]chan []float64, cfg.Workers)
@@ -205,10 +237,72 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 		e.ringbuf = make([][]float64, e.chunks)
 		for c := range e.ringbuf {
 			lo, hi := e.chunkRange(c)
-			e.ringbuf[c] = make([]float64, hi-lo)
+			e.ringbuf[c] = e.buffers.Get(hi - lo)
+		}
+	}
+
+	// Per-worker steady-state state: a tape backed by a private free list
+	// over the engine arena (only that worker's goroutine touches it) and a
+	// reusable microshard RNG.
+	e.tapes = make([]*autograd.Tape, cfg.Workers)
+	e.locals = make([]*arena.Local, cfg.Workers)
+	for w := range e.tapes {
+		e.locals[w] = e.buffers.NewLocal()
+		e.tapes[w] = autograd.NewTapeIn(e.locals[w])
+	}
+	e.rngs = make([]tensor.RNG, cfg.Workers)
+
+	// Persistent worker goroutines: spawning per step would put one
+	// goroutine + closure allocation per worker on the hot path; instead
+	// each worker parks on its start channel and the step barrier is the
+	// shared WaitGroup.
+	if cfg.Workers > 1 {
+		e.startCh = make([]chan struct{}, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			e.startCh[w] = make(chan struct{}, 1)
+			go func(w int) {
+				for range e.startCh[w] {
+					e.runWorker(w, e.shards, e.invB, e.reduceCh, e.gatherCh)
+					e.stepWG.Done()
+				}
+			}(w)
 		}
 	}
 	return e, nil
+}
+
+// Close stops the engine's persistent worker goroutines and returns the
+// engine's gradient, aggregate, and ring buffers to its arena (relevant
+// when Config.Arena is shared across engines). The engine must not be
+// stepped afterwards; Close is idempotent and safe on serial
+// (Workers == 1) engines.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, ch := range e.startCh {
+		close(ch)
+	}
+	for _, buf := range e.gbuf {
+		e.buffers.Put(buf)
+	}
+	for _, buf := range e.agg {
+		e.buffers.Put(buf)
+	}
+	for _, buf := range e.ringbuf {
+		e.buffers.Put(buf)
+	}
+	e.gbuf, e.agg, e.ringbuf = nil, nil, nil
+	// The tapes hold the dominant buffer population (activations,
+	// gradients, conv scratch); release them into the per-worker free
+	// lists and spill those to the shared arena so the next engine drawing
+	// from cfg.Arena reuses the full working set. Safe from this
+	// goroutine: the workers are stopped.
+	for w := range e.tapes {
+		e.tapes[w].ReleaseBuffers()
+		e.locals[w].Flush()
+	}
 }
 
 // Workers returns the engine's worker count.
@@ -259,7 +353,18 @@ func LoaderRNG(seed uint64) *tensor.RNG { return tensor.NewRNG(seed).Split(0xDA7
 // worker count. Exported so serial baselines can replicate the engine's
 // randomness exactly. Supports up to 2^20 microshards.
 func MicroshardRNG(seed uint64, step, m int) *tensor.RNG {
-	return tensor.NewRNG(seed ^ 0x9E3779B97F4A7C15).Split(uint64(step)<<20 | uint64(m))
+	r := &tensor.RNG{}
+	MicroshardRNGInto(r, seed, step, m)
+	return r
+}
+
+// MicroshardRNGInto reseeds dst in place to MicroshardRNG(seed, step, m)'s
+// stream — the allocation-free form the engine's steady-state step uses on
+// its per-worker RNGs.
+func MicroshardRNGInto(dst *tensor.RNG, seed uint64, step, m int) {
+	var root tensor.RNG
+	root.Reseed(seed ^ 0x9E3779B97F4A7C15)
+	root.SplitInto(uint64(step)<<20|uint64(m), dst)
 }
 
 // SetSchedule installs (or replaces) the learning-rate schedule applied to
@@ -302,31 +407,30 @@ func (e *Engine) Step(idx []int) float64 {
 	start := time.Now()
 	K, F := e.cfg.Workers, e.cfg.Microshards
 
-	shards := make([][]int, F)
-	for m := range shards {
-		shards[m] = data.Shard(idx, m, F)
+	for m := range e.shards {
+		e.shards[m] = data.Shard(idx, m, F)
 	}
-	invB := 1 / float64(len(idx))
+	e.invB = 1 / float64(len(idx))
 
 	if K == 1 {
-		e.runWorker(0, shards, invB, nil, nil)
+		e.runWorker(0, e.shards, e.invB, nil, nil)
 	} else {
-		// Ring links (allocated in New). reduceCh[w] carries
-		// partially-reduced chunks from worker w-1 to worker w (the
-		// reduce-scatter leg, flowing 0 -> 1 -> ... -> K-1); gatherCh[w]
-		// carries fully-reduced chunks to worker w (the all-gather leg,
-		// flowing K-1 -> 0 -> ... -> K-2). Capacity Chunks makes every
-		// send non-blocking, so the two legs pipeline freely without
-		// deadlock, and both channel sets drain completely each step.
-		var wg sync.WaitGroup
-		wg.Add(K)
+		// Wake the persistent workers (spawned in New) and wait for the
+		// step barrier. The channel sends happen-before each worker's
+		// iteration, so the shard/invB writes above are visible to it; the
+		// WaitGroup orders the workers' writes before the loss reduction
+		// below. Ring links: reduceCh[w] carries partially-reduced chunks
+		// from worker w-1 to worker w (the reduce-scatter leg, flowing
+		// 0 -> 1 -> ... -> K-1); gatherCh[w] carries fully-reduced chunks
+		// to worker w (the all-gather leg, flowing K-1 -> 0 -> ... -> K-2).
+		// Capacity Chunks makes every send non-blocking, so the two legs
+		// pipeline freely without deadlock, and both channel sets drain
+		// completely each step.
+		e.stepWG.Add(K)
 		for w := 0; w < K; w++ {
-			go func(w int) {
-				defer wg.Done()
-				e.runWorker(w, shards, invB, e.reduceCh, e.gatherCh)
-			}(w)
+			e.startCh[w] <- struct{}{}
 		}
-		wg.Wait()
+		e.stepWG.Wait()
 		e.stats.RingMessages += 2 * (K - 1) * e.chunks
 		e.stats.RingBytes += 2 * (K - 1) * e.flatLen * 8
 	}
@@ -354,6 +458,8 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64, reduce, gather [
 	params := e.params[w]
 
 	// --- Local compute: one forward/backward per owned microshard ---
+	tape := e.tapes[w]
+	rng := &e.rngs[w]
 	for m := mlo; m < mhi; m++ {
 		row := e.gbuf[m]
 		shard := shards[m]
@@ -367,8 +473,9 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64, reduce, gather [
 		for _, p := range params {
 			p.ZeroGrad()
 		}
-		tape := autograd.NewTape()
-		loss := rep.Model.MicrobatchLoss(tape, shard, MicroshardRNG(e.cfg.Seed, e.step, m))
+		tape.Reset()
+		MicroshardRNGInto(rng, e.cfg.Seed, e.step, m)
+		loss := rep.Model.MicrobatchLoss(tape, shard, rng)
 		tape.Backward(loss)
 		// Weight by the microshard's share of the global batch so the
 		// reduced vector is the gradient of the global mean loss.

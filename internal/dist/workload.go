@@ -34,3 +34,7 @@ func (w *Workload) Steps() int { return w.eng.Steps() }
 
 // Engine exposes the underlying engine (stats, replicas).
 func (w *Workload) Engine() *Engine { return w.eng }
+
+// Close stops the engine's persistent workers and returns its buffers to
+// the arena. The measurement harness (core.Run) calls it when a run ends.
+func (w *Workload) Close() { w.eng.Close() }

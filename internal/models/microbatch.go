@@ -23,11 +23,14 @@ func (w *Recommendation) Params() []*autograd.Param { return w.params }
 // MicrobatchLoss builds the NCF training loss for one microshard of
 // interaction indices (dist.Trainable contract). Negative sampling draws
 // from the supplied rng rather than the workload's sequential stream.
+// Batch assembly reuses the workload's persistent buffers, so a warm call
+// allocates nothing.
 func (w *Recommendation) MicrobatchLoss(tape *autograd.Tape, idx []int, rng *tensor.RNG) *autograd.Var {
-	users, items, labels := w.DS.TrainBatch(idx, w.HP.NegRatio, rng)
-	ctx := nn.NewCtx(tape, true, rng)
-	logits := w.Net.Forward(ctx, users, items)
-	return autograd.BCEWithLogits(logits, labels)
+	w.busers, w.bitems, w.blabels = w.DS.AppendTrainBatch(
+		w.busers[:0], w.bitems[:0], w.blabels[:0], idx, w.HP.NegRatio, rng)
+	w.ctx = nn.Ctx{Tape: tape, Train: true, RNG: rng}
+	logits := w.Net.Forward(&w.ctx, w.busers, w.bitems)
+	return autograd.BCEWithLogits(logits, w.blabels)
 }
 
 // Params exposes the image-classification workload's trainable parameters
@@ -44,10 +47,14 @@ func (w *ImageClassification) Params() []*autograd.Param { return w.params }
 func (w *ImageClassification) MicrobatchLoss(tape *autograd.Tape, idx []int, rng *tensor.RNG) *autograd.Var {
 	var aug *datasets.Augment
 	if w.HP.Augment {
-		aug = &datasets.Augment{Flip: true, CropPad: 1, Jitter: 0.1, RNG: rng}
+		if w.mbAug == nil {
+			w.mbAug = &datasets.Augment{Flip: true, CropPad: 1, Jitter: 0.1}
+		}
+		w.mbAug.RNG = rng
+		aug = w.mbAug
 	}
-	x, labels := w.DS.Batch(true, idx, aug)
-	ctx := nn.NewCtx(tape, true, rng)
-	logits := w.Net.Forward(ctx, autograd.Const(x))
-	return autograd.SoftmaxCrossEntropy(logits, labels)
+	w.bx, w.blabels = w.DS.BatchInto(w.bx, w.blabels, true, idx, aug)
+	w.ctx = nn.Ctx{Tape: tape, Train: true, RNG: rng}
+	logits := w.Net.Forward(&w.ctx, tape.ConstOf(w.bx))
+	return autograd.SoftmaxCrossEntropy(logits, w.blabels)
 }

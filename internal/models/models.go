@@ -41,12 +41,19 @@ func applySchedule(o opt.Optimizer, s opt.Schedule, step int) {
 
 // trainStep factors the common tape lifecycle: zero grads, run forward to
 // a loss, backprop, run postBackward (gradient clipping/quantization; may
-// be nil), optimizer step. It returns the loss value.
-func trainStep(params []*autograd.Param, o opt.Optimizer, forward func(tape *autograd.Tape) *autograd.Var, postBackward func()) float64 {
+// be nil), optimizer step. It returns the loss value. A non-nil tape is
+// Reset and reused — workloads that train many steps keep one persistent
+// tape so the steady-state step recycles every graph buffer; passing nil
+// builds a throwaway tape.
+func trainStep(tape *autograd.Tape, params []*autograd.Param, o opt.Optimizer, forward func(tape *autograd.Tape) *autograd.Var, postBackward func()) float64 {
 	for _, p := range params {
 		p.ZeroGrad()
 	}
-	tape := autograd.NewTape()
+	if tape == nil {
+		tape = autograd.NewTape()
+	} else {
+		tape.Reset()
+	}
 	loss := forward(tape)
 	tape.Backward(loss)
 	if postBackward != nil {

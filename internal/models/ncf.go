@@ -74,6 +74,14 @@ type Recommendation struct {
 	seed   uint64
 	epoch  int
 	steps  int
+
+	// Steady-state reuse: one persistent tape plus batch-assembly buffers,
+	// so warm training steps allocate nothing.
+	tape    *autograd.Tape
+	ctx     nn.Ctx
+	busers  []int
+	bitems  []int
+	blabels []float64
 }
 
 // NewRecommendation builds the workload.
@@ -88,6 +96,7 @@ func NewRecommendation(ds *datasets.RecDataset, hp NCFHParams, seed uint64) *Rec
 		loader: data.NewLoader(len(ds.Train), hp.Batch, rng.Split(2)),
 		rng:    rng.Split(3),
 		seed:   seed,
+		tape:   autograd.NewTape(),
 	}
 }
 
@@ -105,8 +114,10 @@ func (w *Recommendation) TrainEpoch() float64 {
 	totalLoss, n := 0.0, 0
 	for i := 0; i < w.loader.StepsPerEpoch(); i++ {
 		idx, _ := w.loader.Next()
-		users, items, labels := w.DS.TrainBatch(idx, w.HP.NegRatio, w.rng)
-		loss := trainStep(w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
+		w.busers, w.bitems, w.blabels = w.DS.AppendTrainBatch(
+			w.busers[:0], w.bitems[:0], w.blabels[:0], idx, w.HP.NegRatio, w.rng)
+		users, items, labels := w.busers, w.bitems, w.blabels
+		loss := trainStep(w.tape, w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
 			ctx := nn.NewCtx(tape, true, w.rng)
 			logits := w.Net.Forward(ctx, users, items)
 			return autograd.BCEWithLogits(logits, labels)

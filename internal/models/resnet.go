@@ -153,6 +153,14 @@ type ImageClassification struct {
 	rng     *tensor.RNG
 	epoch   int
 	steps   int
+
+	// Steady-state reuse: one persistent tape plus batch/augmentation
+	// buffers, so warm training steps allocate nothing.
+	tape    *autograd.Tape
+	ctx     nn.Ctx
+	mbAug   *datasets.Augment
+	bx      *tensor.Tensor
+	blabels []int
 }
 
 // NewImageClassification builds the workload from a dataset, hyperparams,
@@ -174,6 +182,7 @@ func NewImageClassification(ds *datasets.ImageDataset, hp ImageHParams, seed uin
 		params: params,
 		loader: data.NewLoader(ds.Cfg.TrainN, hp.Batch, rng.Split(2)),
 		rng:    rng.Split(3),
+		tape:   autograd.NewTape(),
 	}
 	if hp.Augment {
 		w.augment = &datasets.Augment{Flip: true, CropPad: 1, Jitter: 0.1, RNG: rng.Split(4)}
@@ -203,11 +212,14 @@ func (w *ImageClassification) TrainEpoch() float64 {
 	totalLoss, n := 0.0, 0
 	for i := 0; i < w.loader.StepsPerEpoch(); i++ {
 		idx, _ := w.loader.Next()
-		x, labels := w.DS.Batch(true, idx, w.augment)
+		var x *tensor.Tensor
+		var labels []int
+		w.bx, w.blabels = w.DS.BatchInto(w.bx, w.blabels, true, idx, w.augment)
+		x, labels = w.bx, w.blabels
 		applySchedule(w.Opt, w.Sched, w.steps)
-		loss := trainStep(w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
+		loss := trainStep(w.tape, w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
 			ctx := nn.NewCtx(tape, true, w.rng)
-			logits := w.Net.Forward(ctx, autograd.Const(x))
+			logits := w.Net.Forward(ctx, tape.ConstOf(x))
 			return autograd.SoftmaxCrossEntropy(logits, labels)
 		}, func() {
 			w.HP.Precision.ApplyToGrads(w.params)

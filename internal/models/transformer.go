@@ -203,7 +203,7 @@ func (w *Translation) TrainEpoch() float64 {
 			flatLabels = append(flatLabels, row...)
 		}
 		applySchedule(w.Opt, w.Sched, w.steps)
-		loss := trainStep(w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
+		loss := trainStep(nil, w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
 			ctx := nn.NewCtx(tape, true, w.rng)
 			memory := w.Net.Encode(ctx, src)
 			logits := w.Net.Decode(ctx, decIn, memory, w.srcLen)

@@ -73,7 +73,11 @@ func (p *Pool) ForCost(n int, itemCost float64, body func(lo, hi int)) {
 }
 
 // forChunked is the shared implementation: chunks of at least grain
-// indices are handed to workers through an atomic cursor.
+// indices are handed to workers through an atomic cursor. The forking
+// branch lives in its own function (forkRun) so its escaping
+// synchronization state is only allocated when the loop actually forks —
+// the inline serial path stays allocation-free, which the steady-state
+// training step (kernel pool pinned to 1 worker) relies on.
 func (p *Pool) forChunked(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -83,6 +87,11 @@ func (p *Pool) forChunked(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	p.forkRun(n, grain, w, body)
+}
+
+// forkRun shards [0, n) over w goroutines through an atomic cursor.
+func (p *Pool) forkRun(n, grain, w int, body func(lo, hi int)) {
 	// Aim for a few chunks per worker so uneven shards load-balance, but
 	// never drop below the cost-derived grain.
 	if c := n / (4 * w); c > grain {

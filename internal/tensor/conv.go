@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/parallel"
 )
 
@@ -29,15 +30,106 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 	// the result is bit-identical at every worker count.
 	planeCost := float64(ho * wo * c * kh * kw)
 	parallel.ForCost(n*f, planeCost, func(lo, hi int) {
-		for plane := lo; plane < hi; plane++ {
-			in, of := plane/f, plane%f
-			bias := 0.0
-			if b != nil {
-				bias = b.Data[of]
+		Conv2DPlanes(out, x, w, b, stride, pad, lo, hi)
+	})
+	return out
+}
+
+// Conv2DPlanes computes (sample, filter) output planes [lo, hi) of a
+// Conv2D call — the exported sharded body, reusable through a cached
+// closure by steady-state callers. Every output element is fully
+// overwritten.
+func Conv2DPlanes(out, x, w, b *Tensor, stride, pad, lo, hi int) {
+	c, h, wd := x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	ho, wo := out.Shape[2], out.Shape[3]
+	for plane := lo; plane < hi; plane++ {
+		in, of := plane/f, plane%f
+		bias := 0.0
+		if b != nil {
+			bias = b.Data[of]
+		}
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				s := bias
+				iy0 := oy*stride - pad
+				ix0 := ox*stride - pad
+				for ic := 0; ic < c; ic++ {
+					xBase := ((in*c + ic) * h) * wd
+					wBase := ((of*c + ic) * kh) * kw
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xRow := xBase + iy*wd
+						wRow := wBase + ky*kw
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							s += x.Data[xRow+ix] * w.Data[wRow+kx]
+						}
+					}
+				}
+				out.Data[((in*f+of)*ho+oy)*wo+ox] = s
 			}
+		}
+	}
+}
+
+// Conv2DBackward computes gradients of a Conv2D call: given upstream grad
+// dout [N,F,HO,WO], it returns (dx, dw, db) matching x, w, and bias shapes.
+// db is nil when hasBias is false.
+//
+// The parallel formulation splits the fused serial pass in two: dx shards
+// over samples (each sample's dx is written by exactly one worker) and
+// dw/db shard over filters (each filter's slice of dw and its db entry are
+// written by exactly one worker). Both passes visit the contributing terms
+// of each gradient element in the same order as the fused serial pass —
+// (of, oy, ox) within a sample for dx; (in, oy, ox) within a filter for dw
+// and db — so all three gradients are bit-identical to the serial path at
+// every worker count.
+func Conv2DBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, db *Tensor) {
+	n, c := x.Shape[0], x.Shape[1]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	ho, wo := dout.Shape[2], dout.Shape[3]
+	dx = New(x.Shape...)
+	dw = New(w.Shape...)
+	if hasBias {
+		db = New(f)
+	}
+	planeCost := float64(ho * wo * c * kh * kw)
+	if !parallel.Worth(2 * planeCost * float64(n*f)) {
+		Conv2DBackwardSerialInto(dx, dw, db, x, w, dout, stride, pad, hasBias)
+		return dx, dw, db
+	}
+	parallel.ForCost(n, planeCost*float64(f), func(lo, hi int) {
+		Conv2DBackwardDxSamples(dx, x, w, dout, stride, pad, lo, hi)
+	})
+	parallel.ForCost(f, planeCost*float64(n), func(lo, hi int) {
+		Conv2DBackwardDwFilters(dw, db, x, dout, stride, pad, hasBias, lo, hi)
+	})
+	return dx, dw, db
+}
+
+// Conv2DBackwardDxSamples accumulates the input gradient for samples
+// [lo, hi) into dx (which must be pre-zeroed over those samples) — the
+// exported dx-leg body of Conv2DBackward. Each sample's dx slice is owned
+// by exactly one range and accumulated in the serial (of, oy, ox) order.
+func Conv2DBackwardDxSamples(dx, x, w, dout *Tensor, stride, pad, lo, hi int) {
+	c, h, wd := x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	ho, wo := dout.Shape[2], dout.Shape[3]
+	for in := lo; in < hi; in++ {
+		for of := 0; of < f; of++ {
 			for oy := 0; oy < ho; oy++ {
 				for ox := 0; ox < wo; ox++ {
-					s := bias
+					g := dout.Data[((in*f+of)*ho+oy)*wo+ox]
+					if g == 0 {
+						continue
+					}
 					iy0 := oy*stride - pad
 					ix0 := ox*stride - pad
 					for ic := 0; ic < c; ic++ {
@@ -55,124 +147,68 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 								if ix < 0 || ix >= wd {
 									continue
 								}
-								s += x.Data[xRow+ix] * w.Data[wRow+kx]
+								dx.Data[xRow+ix] += g * w.Data[wRow+kx]
 							}
 						}
 					}
-					out.Data[((in*f+of)*ho+oy)*wo+ox] = s
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
-// Conv2DBackward computes gradients of a Conv2D call: given upstream grad
-// dout [N,F,HO,WO], it returns (dx, dw, db) matching x, w, and bias shapes.
-// db is nil when hasBias is false.
-//
-// The parallel formulation splits the fused serial pass in two: dx shards
-// over samples (each sample's dx is written by exactly one worker) and
-// dw/db shard over filters (each filter's slice of dw and its db entry are
-// written by exactly one worker). Both passes visit the contributing terms
-// of each gradient element in the same order as the fused serial pass —
-// (of, oy, ox) within a sample for dx; (in, oy, ox) within a filter for dw
-// and db — so all three gradients are bit-identical to the serial path at
-// every worker count.
-func Conv2DBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, db *Tensor) {
+// Conv2DBackwardDwFilters accumulates the weight (and, when db is non-nil,
+// bias) gradient for filters [lo, hi) into dw/db (pre-zeroed over those
+// filters) — the exported dw-leg body of Conv2DBackward. Each filter's
+// slice of dw and its db entry are owned by exactly one range and
+// accumulated in the serial (in, oy, ox) order.
+func Conv2DBackwardDwFilters(dw, db, x, dout *Tensor, stride, pad int, hasBias bool, lo, hi int) {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	f, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	f, kh, kw := dw.Shape[0], dw.Shape[2], dw.Shape[3]
 	ho, wo := dout.Shape[2], dout.Shape[3]
-	dx = New(x.Shape...)
-	dw = New(w.Shape...)
-	if hasBias {
-		db = New(f)
-	}
-	planeCost := float64(ho * wo * c * kh * kw)
-	if !parallel.Worth(2 * planeCost * float64(n*f)) {
-		conv2DBackwardSerial(x, w, dout, dx, dw, db, stride, pad, hasBias)
-		return dx, dw, db
-	}
-	parallel.ForCost(n, planeCost*float64(f), func(lo, hi int) {
-		for in := lo; in < hi; in++ {
-			for of := 0; of < f; of++ {
-				for oy := 0; oy < ho; oy++ {
-					for ox := 0; ox < wo; ox++ {
-						g := dout.Data[((in*f+of)*ho+oy)*wo+ox]
-						if g == 0 {
-							continue
-						}
-						iy0 := oy*stride - pad
-						ix0 := ox*stride - pad
-						for ic := 0; ic < c; ic++ {
-							xBase := ((in*c + ic) * h) * wd
-							wBase := ((of*c + ic) * kh) * kw
-							for ky := 0; ky < kh; ky++ {
-								iy := iy0 + ky
-								if iy < 0 || iy >= h {
+	for of := lo; of < hi; of++ {
+		for in := 0; in < n; in++ {
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					g := dout.Data[((in*f+of)*ho+oy)*wo+ox]
+					if g == 0 {
+						continue
+					}
+					if hasBias {
+						db.Data[of] += g
+					}
+					iy0 := oy*stride - pad
+					ix0 := ox*stride - pad
+					for ic := 0; ic < c; ic++ {
+						xBase := ((in*c + ic) * h) * wd
+						wBase := ((of*c + ic) * kh) * kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xRow := xBase + iy*wd
+							wRow := wBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
 									continue
 								}
-								xRow := xBase + iy*wd
-								wRow := wBase + ky*kw
-								for kx := 0; kx < kw; kx++ {
-									ix := ix0 + kx
-									if ix < 0 || ix >= wd {
-										continue
-									}
-									dx.Data[xRow+ix] += g * w.Data[wRow+kx]
-								}
+								dw.Data[wRow+kx] += g * x.Data[xRow+ix]
 							}
 						}
 					}
 				}
 			}
 		}
-	})
-	parallel.ForCost(f, planeCost*float64(n), func(lo, hi int) {
-		for of := lo; of < hi; of++ {
-			for in := 0; in < n; in++ {
-				for oy := 0; oy < ho; oy++ {
-					for ox := 0; ox < wo; ox++ {
-						g := dout.Data[((in*f+of)*ho+oy)*wo+ox]
-						if g == 0 {
-							continue
-						}
-						if hasBias {
-							db.Data[of] += g
-						}
-						iy0 := oy*stride - pad
-						ix0 := ox*stride - pad
-						for ic := 0; ic < c; ic++ {
-							xBase := ((in*c + ic) * h) * wd
-							wBase := ((of*c + ic) * kh) * kw
-							for ky := 0; ky < kh; ky++ {
-								iy := iy0 + ky
-								if iy < 0 || iy >= h {
-									continue
-								}
-								xRow := xBase + iy*wd
-								wRow := wBase + ky*kw
-								for kx := 0; kx < kw; kx++ {
-									ix := ix0 + kx
-									if ix < 0 || ix >= wd {
-										continue
-									}
-									dw.Data[wRow+kx] += g * x.Data[xRow+ix]
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	})
-	return dx, dw, db
+	}
 }
 
-// conv2DBackwardSerial is the fused single-pass backward used when the
+// Conv2DBackwardSerialInto is the fused single-pass backward used when the
 // tensors are too small (or the pool too narrow) to amortize two sharded
-// passes.
-func conv2DBackwardSerial(x, w, dout, dx, dw, db *Tensor, stride, pad int, hasBias bool) {
+// passes. dx, dw, and (when hasBias) db must be pre-zeroed; it is exported
+// so steady-state callers can reuse scratch gradients across steps.
+func Conv2DBackwardSerialInto(dx, dw, db, x, w, dout *Tensor, stride, pad int, hasBias bool) {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	f, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
 	ho, wo := dout.Shape[2], dout.Shape[3]
@@ -227,6 +263,16 @@ func Im2col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	ho, wo := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
 	patch := c * kh * kw
 	cols := New(n*ho*wo, patch)
+	Im2colInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2colInto is Im2col with a caller-owned (pre-zeroed) patch matrix —
+// typically an arena-backed workspace reused across steps.
+func Im2colInto(cols, x *Tensor, kh, kw, stride, pad int) {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	ho, wo := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	patch := c * kh * kw
 	parallel.ForCost(n*ho*wo, float64(patch), func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			ox := r % wo
@@ -255,32 +301,47 @@ func Im2col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	})
-	return cols
 }
+
+// im2colWorkspace pools the patch-matrix and GEMM-product temporaries of
+// Conv2DIm2col across calls (goroutine-safe), so the GEMM formulation's
+// large workspaces are recycled instead of re-heap-allocated per call.
+var im2colWorkspace = arena.New()
 
 // Conv2DIm2col computes the same convolution as Conv2D via the im2col +
 // GEMM route: unfold the input, multiply by the flattened filter bank with
 // the (parallel) MatMulTransB kernel, and fold the product back to NCHW.
 // This trades memory for the dense-GEMM formulation most accelerator
 // backends use; results match Conv2D up to padding terms that contribute
-// exact zeros.
+// exact zeros. Workspaces come from a shared pool; use Conv2DIm2colIn to
+// supply a caller-owned arena instead.
 func Conv2DIm2col(x, w, b *Tensor, stride, pad int) *Tensor {
+	return Conv2DIm2colIn(im2colWorkspace, x, w, b, stride, pad)
+}
+
+// Conv2DIm2colIn is Conv2DIm2col with its two large temporaries — the
+// im2col patch matrix and the GEMM product — drawn from and released back
+// to the given arena, so repeated convolutions recycle their workspaces
+// instead of growing the heap. Results are bit-identical to Conv2DIm2col.
+func Conv2DIm2colIn(al arena.Allocator, x, w, b *Tensor, stride, pad int) *Tensor {
 	if x.Rank() != 4 || w.Rank() != 4 {
-		panic(fmt.Sprintf("tensor: Conv2DIm2col requires rank-4 operands, got %v, %v", x.Shape, w.Shape))
+		panic(fmt.Sprintf("tensor: Conv2DIm2colIn requires rank-4 operands, got %v, %v", x.Shape, w.Shape))
 	}
 	n, c := x.Shape[0], x.Shape[1]
 	f, c2, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
 	if c != c2 {
-		panic(fmt.Sprintf("tensor: Conv2DIm2col channel mismatch %v vs %v", x.Shape, w.Shape))
+		panic(fmt.Sprintf("tensor: Conv2DIm2colIn channel mismatch %v vs %v", x.Shape, w.Shape))
 	}
 	ho, wo := ConvOut(x.Shape[2], kh, stride, pad), ConvOut(x.Shape[3], kw, stride, pad)
-	cols := Im2col(x, kh, kw, stride, pad)
+	cols := NewIn(al, n*ho*wo, c*kh*kw)
+	Im2colInto(cols, x, kh, kw, stride, pad)
 	wmat := FromSlice(w.Data, f, c*kh*kw)
-	prod := MatMulTransB(cols, wmat) // [n*ho*wo, f]
+	prod := NewIn(al, n*ho*wo, f)
+	MatMulTransBInto(prod, cols, wmat)
 	out := New(n, f, ho, wo)
 	plane := ho * wo
-	parallel.ForCost(n*f, float64(plane), func(lo, hi int) {
-		for p := lo; p < hi; p++ {
+	parallel.ForCost(n*f, float64(plane), func(p0, p1 int) {
+		for p := p0; p < p1; p++ {
 			in, of := p/f, p%f
 			bias := 0.0
 			if b != nil {
@@ -293,6 +354,8 @@ func Conv2DIm2col(x, w, b *Tensor, stride, pad int) *Tensor {
 			}
 		}
 	})
+	cols.Release()
+	prod.Release()
 	return out
 }
 
@@ -300,10 +363,19 @@ func Conv2DIm2col(x, w, b *Tensor, stride, pad int) *Tensor {
 // stride s. It returns the pooled tensor and the flat argmax index (into
 // x.Data) of each output element, which MaxPool2DBackward consumes.
 func MaxPool2D(x *Tensor, k, s int) (*Tensor, []int) {
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	ho, wo := ConvOut(h, k, s, 0), ConvOut(w, k, s, 0)
+	n, c := x.Shape[0], x.Shape[1]
+	ho, wo := ConvOut(x.Shape[2], k, s, 0), ConvOut(x.Shape[3], k, s, 0)
 	out := New(n, c, ho, wo)
 	arg := make([]int, out.Size())
+	MaxPool2DInto(out, arg, x, k, s)
+	return out, arg
+}
+
+// MaxPool2DInto is MaxPool2D with caller-owned output storage: out must
+// have the pooled shape and arg length out.Size().
+func MaxPool2DInto(out *Tensor, arg []int, x *Tensor, k, s int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	ho, wo := out.Shape[2], out.Shape[3]
 	oi := 0
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
@@ -335,7 +407,6 @@ func MaxPool2D(x *Tensor, k, s int) (*Tensor, []int) {
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxPool2DBackward scatters upstream grads through the argmax indices.
@@ -351,8 +422,15 @@ func MaxPool2DBackward(xShape []int, arg []int, dout *Tensor) *Tensor {
 
 // GlobalAvgPool2D averages each channel's spatial plane: [N,C,H,W] → [N,C].
 func GlobalAvgPool2D(x *Tensor) *Tensor {
+	out := New(x.Shape[0], x.Shape[1])
+	GlobalAvgPool2DInto(out, x)
+	return out
+}
+
+// GlobalAvgPool2DInto is GlobalAvgPool2D with caller-owned output storage
+// (out must be [N,C]).
+func GlobalAvgPool2DInto(out, x *Tensor) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := New(n, c)
 	plane := h * w
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
@@ -364,7 +442,6 @@ func GlobalAvgPool2D(x *Tensor) *Tensor {
 			out.Data[in*c+ic] = s / float64(plane)
 		}
 	}
-	return out
 }
 
 // GlobalAvgPool2DBackward spreads each channel grad uniformly over the plane.

@@ -23,22 +23,36 @@ func MatMul(a, b *Tensor) *Tensor {
 	}
 	c := New(n, m)
 	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Data[i*k : (i+1)*k]
-			cr := c.Data[i*m : (i+1)*m]
-			for p := 0; p < k; p++ {
-				av := ar[p]
-				if av == 0 {
-					continue
-				}
-				br := b.Data[p*m : (p+1)*m]
-				for j := 0; j < m; j++ {
-					cr[j] += av * br[j]
-				}
-			}
-		}
+		MatMulRows(c, a, b, lo, hi)
 	})
 	return c
+}
+
+// MatMulRows computes output rows [lo, hi) of c = a·b, zeroing them first.
+// It is the sharded body of MatMul, exported so steady-state callers (the
+// autograd tape) can drive it through a cached closure instead of
+// allocating a fresh one per step. Each row is owned by exactly one range,
+// and accumulation over k follows the serial order, so results are
+// bit-identical to MatMul at any range split.
+func MatMulRows(c, a, b *Tensor, lo, hi int) {
+	k, m := a.Shape[1], b.Shape[1]
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*m : (i+1)*m]
+		for j := range cr {
+			cr[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue
+			}
+			br := b.Data[p*m : (p+1)*m]
+			for j := 0; j < m; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
 }
 
 // MatMulTransA returns aᵀ·b for a [k,n] and b [k,m], producing [n,m].
@@ -57,22 +71,37 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	}
 	c := New(n, m)
 	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			ar := a.Data[p*n : (p+1)*n]
-			br := b.Data[p*m : (p+1)*m]
-			for i := lo; i < hi; i++ {
-				av := ar[i]
-				if av == 0 {
-					continue
-				}
-				cr := c.Data[i*m : (i+1)*m]
-				for j := 0; j < m; j++ {
-					cr[j] += av * br[j]
-				}
-			}
-		}
+		MatMulTransARows(c, a, b, lo, hi)
 	})
 	return c
+}
+
+// MatMulTransARows computes output rows [lo, hi) of c = aᵀ·b, zeroing them
+// first — the exported sharded body of MatMulTransA (see MatMulRows for
+// why). Accumulation over p replays the serial order per element.
+func MatMulTransARows(c, a, b *Tensor, lo, hi int) {
+	k, n := a.Shape[0], a.Shape[1]
+	m := b.Shape[1]
+	for i := lo; i < hi; i++ {
+		cr := c.Data[i*m : (i+1)*m]
+		for j := range cr {
+			cr[j] = 0
+		}
+	}
+	for p := 0; p < k; p++ {
+		ar := a.Data[p*n : (p+1)*n]
+		br := b.Data[p*m : (p+1)*m]
+		for i := lo; i < hi; i++ {
+			av := ar[i]
+			if av == 0 {
+				continue
+			}
+			cr := c.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
 }
 
 // MatMulTransB returns a·bᵀ for a [n,k] and b [m,k], producing [n,m].
@@ -88,20 +117,67 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	c := New(n, m)
 	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Data[i*k : (i+1)*k]
-			cr := c.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				br := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for p := 0; p < k; p++ {
-					s += ar[p] * br[p]
-				}
-				cr[j] = s
-			}
-		}
+		MatMulTransBRows(c, a, b, lo, hi)
 	})
 	return c
+}
+
+// MatMulTransBRows computes output rows [lo, hi) of c = a·bᵀ — the
+// exported sharded body of MatMulTransB. Every output element is fully
+// overwritten, so no zeroing is needed.
+func MatMulTransBRows(c, a, b *Tensor, lo, hi int) {
+	k, m := a.Shape[1], b.Shape[0]
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ar[p] * br[p]
+			}
+			cr[j] = s
+		}
+	}
+}
+
+// MatMulInto writes a·b into c, which must be [n, m]. Bit-identical to
+// MatMul.
+func MatMulInto(c, a, b *Tensor) {
+	n, k := a.Shape[0], a.Shape[1]
+	m := b.Shape[1]
+	if c.Shape[0] != n || c.Shape[1] != m || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v = %v x %v", c.Shape, a.Shape, b.Shape))
+	}
+	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
+		MatMulRows(c, a, b, lo, hi)
+	})
+}
+
+// MatMulTransAInto writes aᵀ·b into c, which must be [n, m]. Bit-identical
+// to MatMulTransA.
+func MatMulTransAInto(c, a, b *Tensor) {
+	k, n := a.Shape[0], a.Shape[1]
+	m := b.Shape[1]
+	if c.Shape[0] != n || c.Shape[1] != m || k != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch %v = %vᵀ x %v", c.Shape, a.Shape, b.Shape))
+	}
+	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
+		MatMulTransARows(c, a, b, lo, hi)
+	})
+}
+
+// MatMulTransBInto writes a·bᵀ into c, which must be [n, m]. Bit-identical
+// to MatMulTransB.
+func MatMulTransBInto(c, a, b *Tensor) {
+	n, k := a.Shape[0], a.Shape[1]
+	m := b.Shape[0]
+	if c.Shape[0] != n || c.Shape[1] != m || k != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch %v = %v x %vᵀ", c.Shape, a.Shape, b.Shape))
+	}
+	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
+		MatMulTransBRows(c, a, b, lo, hi)
+	})
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.

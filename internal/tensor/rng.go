@@ -29,12 +29,21 @@ func splitmix64(x *uint64) uint64 {
 // NewRNG returns a generator seeded from seed. Two RNGs with the same seed
 // produce identical streams.
 func NewRNG(seed uint64) *RNG {
-	sm := seed
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place to the stream NewRNG(seed) would
+// produce. Hot loops that need a fresh deterministic stream every step
+// (e.g. the per-microshard streams of internal/dist) reseed a persistent
+// RNG instead of allocating a new one.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
 	r.state = splitmix64(&sm)
 	r.inc = splitmix64(&sm) | 1 // stream must be odd
+	r.hasSpare = false
 	r.Uint64()
-	return r
 }
 
 // Split derives an independent child generator. The child stream is a pure
@@ -42,12 +51,20 @@ func NewRNG(seed uint64) *RNG {
 // init, shuffling, and dropout can each own a decorrelated stream while the
 // whole run stays reproducible from one root seed.
 func (r *RNG) Split(label uint64) *RNG {
-	sm := r.state ^ (label * 0x9e3779b97f4a7c15)
 	c := &RNG{}
-	c.state = splitmix64(&sm)
-	c.inc = splitmix64(&sm) | 1
-	c.Uint64()
+	r.SplitInto(label, c)
 	return c
+}
+
+// SplitInto writes the stream Split(label) would return into dst without
+// allocating — the in-place form of Split for steady-state loops. dst's
+// resulting stream is bit-identical to Split(label)'s.
+func (r *RNG) SplitInto(label uint64, dst *RNG) {
+	sm := r.state ^ (label * 0x9e3779b97f4a7c15)
+	dst.state = splitmix64(&sm)
+	dst.inc = splitmix64(&sm) | 1
+	dst.hasSpare = false
+	dst.Uint64()
 }
 
 // Uint64 returns the next 64 bits of the stream.
@@ -105,8 +122,18 @@ func (r *RNG) Norm() float64 {
 }
 
 // Perm returns a random permutation of [0, n) using Fisher-Yates.
-func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
+func (r *RNG) Perm(n int) []int { return r.PermInto(nil, n) }
+
+// PermInto writes a random permutation of [0, n) into p, growing it only
+// when its capacity is insufficient, and returns the permutation. The
+// random stream — and therefore the permutation — is bit-identical to
+// Perm(n); callers that shuffle every epoch (data.Loader) reuse one
+// backing array for the whole run.
+func (r *RNG) PermInto(p []int, n int) []int {
+	if cap(p) < n {
+		p = make([]int, n)
+	}
+	p = p[:n]
 	for i := range p {
 		p[i] = i
 	}

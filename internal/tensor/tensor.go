@@ -8,25 +8,43 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/arena"
 )
 
 // Tensor is a dense row-major array of float64 with an explicit shape.
-// The zero value is not usable; construct with New, Zeros, or FromSlice.
+// The zero value is not usable; construct with New, Zeros, FromSlice, or
+// (for pooled buffers) NewIn.
 type Tensor struct {
 	Shape []int
 	Data  []float64
+
+	// src and raw track arena-backed tensors (NewIn): src is the allocator
+	// the buffer came from and raw the original class-capacity slice that
+	// Release returns to it. Both are nil for ordinary tensors.
+	src arena.Allocator
+	raw []float64
 }
 
 // numel returns the product of dims, panicking on negative sizes.
+// The panic path formats a copy of the shape so that numel does not leak
+// its parameter — keeping it non-leaking lets callers' variadic shape
+// slices stay on the stack, which the zero-allocation steady-state step
+// depends on.
 func numel(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %v", shape))
+			panicNegativeDim(append([]int(nil), shape...))
 		}
 		n *= d
 	}
 	return n
+}
+
+//go:noinline
+func panicNegativeDim(shape []int) {
+	panic(fmt.Sprintf("tensor: negative dimension %v", shape))
 }
 
 // New returns a zero-filled tensor with the given shape.
@@ -36,6 +54,42 @@ func New(shape ...int) *Tensor {
 
 // Zeros is an alias for New, provided for call-site readability.
 func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// NewIn returns a zero-filled tensor whose data buffer is drawn from the
+// given arena allocator. Data is sliced with a hard capacity bound
+// (Data[:n:n]), so an append that would overrun into a neighboring pooled
+// buffer reallocates — or an index overrun panics — instead of silently
+// corrupting another tensor. The tensor must be returned to the arena with
+// Release once it is no longer referenced.
+func NewIn(a arena.Allocator, shape ...int) *Tensor {
+	n := numel(shape)
+	buf := a.Get(n)
+	return &Tensor{
+		Shape: append([]int(nil), shape...),
+		Data:  buf[:n:n],
+		src:   a,
+		raw:   buf,
+	}
+}
+
+// Arena reports whether the tensor's buffer is arena-backed (and not yet
+// released).
+func (t *Tensor) Arena() bool { return t.raw != nil }
+
+// Release returns an arena-backed tensor's buffer to its arena. The tensor
+// must not be used afterwards. It panics on non-arena tensors and on a
+// second Release (the double-free that silent pooling bugs are made of).
+func (t *Tensor) Release() {
+	if t.src == nil {
+		panic("tensor: Release of non-arena tensor")
+	}
+	if t.raw == nil {
+		panic("tensor: double Release")
+	}
+	t.src.Put(t.raw)
+	t.raw = nil
+	t.Data = nil
+}
 
 // Ones returns a tensor filled with 1.
 func Ones(shape ...int) *Tensor {
@@ -186,56 +240,87 @@ func (t *Tensor) ScaleInPlace(s float64) {
 
 // Add returns t + o elementwise.
 func Add(a, b *Tensor) *Tensor {
-	if len(a.Data) != len(b.Data) {
+	c := New(a.Shape...)
+	AddInto(c, a, b)
+	return c
+}
+
+// AddInto writes a + b into dst. All three must have equal sizes.
+func AddInto(dst, a, b *Tensor) {
+	if len(a.Data) != len(b.Data) || len(dst.Data) != len(a.Data) {
 		panic("tensor: Add size mismatch")
 	}
-	c := New(a.Shape...)
 	for i := range a.Data {
-		c.Data[i] = a.Data[i] + b.Data[i]
+		dst.Data[i] = a.Data[i] + b.Data[i]
 	}
-	return c
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
-	if len(a.Data) != len(b.Data) {
+	c := New(a.Shape...)
+	SubInto(c, a, b)
+	return c
+}
+
+// SubInto writes a - b into dst. All three must have equal sizes.
+func SubInto(dst, a, b *Tensor) {
+	if len(a.Data) != len(b.Data) || len(dst.Data) != len(a.Data) {
 		panic("tensor: Sub size mismatch")
 	}
-	c := New(a.Shape...)
 	for i := range a.Data {
-		c.Data[i] = a.Data[i] - b.Data[i]
+		dst.Data[i] = a.Data[i] - b.Data[i]
 	}
-	return c
 }
 
 // Mul returns a * b elementwise (Hadamard product).
 func Mul(a, b *Tensor) *Tensor {
-	if len(a.Data) != len(b.Data) {
+	c := New(a.Shape...)
+	MulInto(c, a, b)
+	return c
+}
+
+// MulInto writes the Hadamard product a * b into dst.
+func MulInto(dst, a, b *Tensor) {
+	if len(a.Data) != len(b.Data) || len(dst.Data) != len(a.Data) {
 		panic("tensor: Mul size mismatch")
 	}
-	c := New(a.Shape...)
 	for i := range a.Data {
-		c.Data[i] = a.Data[i] * b.Data[i]
+		dst.Data[i] = a.Data[i] * b.Data[i]
 	}
-	return c
 }
 
 // Scale returns s * a.
 func Scale(a *Tensor, s float64) *Tensor {
 	c := New(a.Shape...)
-	for i := range a.Data {
-		c.Data[i] = s * a.Data[i]
-	}
+	ScaleInto(c, a, s)
 	return c
+}
+
+// ScaleInto writes s * a into dst.
+func ScaleInto(dst, a *Tensor, s float64) {
+	if len(dst.Data) != len(a.Data) {
+		panic("tensor: Scale size mismatch")
+	}
+	for i := range a.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
 }
 
 // Apply returns f applied elementwise.
 func Apply(a *Tensor, f func(float64) float64) *Tensor {
 	c := New(a.Shape...)
-	for i, v := range a.Data {
-		c.Data[i] = f(v)
-	}
+	ApplyInto(c, a, f)
 	return c
+}
+
+// ApplyInto writes f applied elementwise to a into dst.
+func ApplyInto(dst, a *Tensor, f func(float64) float64) {
+	if len(dst.Data) != len(a.Data) {
+		panic("tensor: Apply size mismatch")
+	}
+	for i, v := range a.Data {
+		dst.Data[i] = f(v)
+	}
 }
 
 // Sum returns the sum of all elements.
