@@ -2,7 +2,7 @@ GO ?= go
 
 BENCH_SMOKE_OUT ?= bench-smoke.out
 
-.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels
+.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels pp-smoke
 
 all: check
 
@@ -50,13 +50,22 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # Compile-and-run-once smoke over every benchmark in the repo, then fail if
-# any steady-state step benchmark (BenchmarkStepAllocs*) reports a nonzero
+# any steady-state step benchmark (BenchmarkStepAllocs* for serial/DP,
+# BenchmarkStepPipeline* for PP and hybrid DP×PP) reports a nonzero
 # allocs/op — the allocation-free training-step regression gate.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > $(BENCH_SMOKE_OUT) || (cat $(BENCH_SMOKE_OUT); exit 1)
 	@cat $(BENCH_SMOKE_OUT)
-	@awk '/^BenchmarkStepAllocs/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: steady-state step allocates: " $$0; bad = 1 } } \
-		END { if (bad) exit 1; print "bench-smoke: all BenchmarkStepAllocs* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
+	@awk '/^BenchmarkStep(Allocs|Pipeline)/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: steady-state step allocates: " $$0; bad = 1 } } \
+		END { if (bad) exit 1; print "bench-smoke: all BenchmarkStepAllocs*/BenchmarkStepPipeline* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
+
+# Pipeline-only slice of bench-smoke: run just the pipeline step benchmarks
+# and apply the same nonzero-alloc gate (fast local check for PP changes).
+pp-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepPipeline' -benchtime 1x -benchmem . > $(BENCH_SMOKE_OUT) || (cat $(BENCH_SMOKE_OUT); exit 1)
+	@cat $(BENCH_SMOKE_OUT)
+	@awk '/^BenchmarkStepPipeline/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: pipeline step allocates: " $$0; bad = 1 } } \
+		END { if (bad) exit 1; print "pp-smoke: all BenchmarkStepPipeline* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
 
 # Just the serial-vs-parallel substrate comparisons.
 bench-kernels:

@@ -7,6 +7,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/dist"
 	"repro/internal/models"
+	"repro/internal/pipeline"
 )
 
 // Steady-state allocation benchmarks: after a short warmup, a training
@@ -84,3 +85,50 @@ func BenchmarkStepAllocsNCF(b *testing.B)       { benchStepAllocsNCF(b, 1) }
 func BenchmarkStepAllocsNCFDP4(b *testing.B)    { benchStepAllocsNCF(b, 4) }
 func BenchmarkStepAllocsResNet(b *testing.B)    { benchStepAllocsResNet(b, 1) }
 func BenchmarkStepAllocsResNetDP4(b *testing.B) { benchStepAllocsResNet(b, 4) }
+
+// benchStepPipeline drives the pipeline-parallel engine (internal/pipeline)
+// through warm ResNet steps. Like the dist benchmarks above, the warm step
+// must report 0 allocs/op — the per-slot pooled tapes, boundary-transfer
+// cells, and stage-group rings keep GC out of the pipelined hot loop too.
+// CI's bench-smoke job greps BenchmarkStepPipeline* alongside
+// BenchmarkStepAllocs*.
+func benchStepPipeline(b *testing.B, stages, workers int, sched pipeline.Schedule) {
+	withPoolWorkers(b, 1)
+	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
+	hp := models.DefaultImageHParams()
+	var reps []*models.ImageClassification
+	eng, err := pipeline.New(pipeline.Config{
+		Stages: stages, Workers: workers, Microbatches: 4, Schedule: sched,
+		GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: 1, DropLast: true,
+	}, func(worker int) []pipeline.StageReplica {
+		m := models.NewImageClassification(ds, hp, 1)
+		reps = append(reps, m)
+		parts, err := m.PipelineStages(stages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pipeline.Wrap(parts)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close) // not deferred: see benchStepAllocsNCF
+	eng.SetLRSchedule(reps[0].Sched)
+	for i := 0; i < stepAllocsWarmup; i++ {
+		eng.StepNext()
+	}
+	runtime.GC() // see benchStepAllocsNCF
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepNext()
+	}
+}
+
+func BenchmarkStepPipelineResNetPP4(b *testing.B) { benchStepPipeline(b, 4, 1, pipeline.GPipe) }
+func BenchmarkStepPipelineResNetPP41F1B(b *testing.B) {
+	benchStepPipeline(b, 4, 1, pipeline.OneFOneB)
+}
+func BenchmarkStepPipelineResNetHybrid2x2(b *testing.B) {
+	benchStepPipeline(b, 2, 2, pipeline.OneFOneB)
+}

@@ -9,6 +9,8 @@
 //	mlperf -benchmark all -version v0.6
 //	mlperf -benchmark recommendation -runs 10 -parallel -workers 8
 //	mlperf -benchmark recommendation -dp 4   # data-parallel training (internal/dist)
+//	mlperf -benchmark image_classification -pp-stages 4 -pp-schedule 1f1b   # pipeline parallel (internal/pipeline)
+//	mlperf -benchmark image_classification -pp-stages 2 -dp 2              # hybrid DP×PP
 package main
 
 import (
@@ -32,8 +34,11 @@ func main() {
 		list      = flag.Bool("list", false, "list the suite (Table 1) and exit")
 		workers   = flag.Int("workers", 0, "worker-pool size for tensor kernels and concurrent runs (0 = GOMAXPROCS, 1 = serial)")
 		par       = flag.Bool("parallel", false, "execute each benchmark's runs concurrently: quality results match serial exactly, but wall-clock times-to-train reflect core contention, and output (including -mllog) is buffered until the run set completes")
-		dp        = flag.Int("dp", 0, "data-parallel workers: train on the internal/dist engine with K replicas and a per-step ring all-reduce (0 = serial training; supported: image_classification, recommendation)")
+		dp        = flag.Int("dp", 0, "data-parallel workers: train on the internal/dist engine with K replicas and a per-step ring all-reduce (0 = serial training; supported: image_classification, recommendation). With -pp-stages, K replicates every pipeline stage instead (hybrid DP×PP)")
 		dpShards  = flag.Int("dp-shards", 0, "gradient-reduction microshards for -dp (0 = auto). Runs sharing seed, batch, and shards are bit-identical at every worker count dividing shards")
+		ppStages  = flag.Int("pp-stages", 0, "pipeline-parallel stages: train on the internal/pipeline engine with the model split into S cost-balanced stages (0 = no pipeline; supported: image_classification, translation_transformer). Combine with -dp for hybrid DP×PP")
+		ppSched   = flag.String("pp-schedule", "gpipe", "microbatch schedule for -pp-stages: gpipe (fill-drain) or 1f1b. Never affects results, only activation liveness")
+		ppMicro   = flag.Int("pp-microbatches", 0, "microbatches per global batch for -pp-stages (0 = auto). Runs sharing seed, batch, and microbatches are bit-identical across every (stages, schedule, workers) combination")
 	)
 	flag.Parse()
 
@@ -64,7 +69,20 @@ func main() {
 	for _, id := range ids {
 		var b core.Benchmark
 		var err error
-		if *dp > 0 {
+		switch {
+		case *ppStages > 0:
+			dpWorkers := *dp // per-stage replicas, unrelated to the -workers kernel pool
+			if dpWorkers < 1 {
+				dpWorkers = 1
+			}
+			b, err = core.PPBenchmark(v, id, *ppStages, dpWorkers, *ppMicro, *ppSched)
+			if err != nil && *benchmark == "all" {
+				// With -benchmark all, skip benchmarks the pipeline engine
+				// doesn't support rather than aborting the suite.
+				fmt.Fprintf(os.Stderr, "skipping %s: %v\n", id, err)
+				continue
+			}
+		case *dp > 0:
 			b, err = core.DPBenchmark(v, id, *dp, *dpShards)
 			if err != nil && *benchmark == "all" {
 				// With -benchmark all, skip benchmarks the data-parallel
@@ -72,7 +90,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "skipping %s: %v\n", id, err)
 				continue
 			}
-		} else {
+		default:
 			b, err = core.FindBenchmark(v, id)
 		}
 		if err != nil {

@@ -23,6 +23,10 @@
 //	internal/dist       — synchronous data-parallel training engine (K worker
 //	                      replicas, deterministic chunked ring all-reduce;
 //	                      bit-identical across worker counts)
+//	internal/pipeline   — pipeline-parallel training engine (S cost-balanced
+//	                      model stages, GPipe/1F1B microbatch schedules,
+//	                      hybrid DP×PP via per-stage ring groups;
+//	                      bit-identical across stages/schedules/workers)
 //	internal/goboard    — Go engine; internal/mcts — self-play search
 //	internal/mlog       — MLLOG structured logging
 //	internal/cluster    — simulated scale-out (Figures 4–5)

@@ -9,11 +9,18 @@
 // the analytic workload model against the measurement, so the simulated
 // figures and the executed engine tell one story.
 //
+// With -pp, it runs the REAL pipeline-parallel engine (internal/pipeline)
+// on the ResNet workload — serial vs DP×4 vs PP×4 (both schedules) vs a
+// 2×2 hybrid, all training bit-identically at a pinned microbatch count —
+// and prints the analytic pipeline axis (bubble model + FigurePP sweep)
+// alongside the measurements.
+//
 // Usage:
 //
 //	go run ./examples/scaling            # both figures
 //	go run ./examples/scaling -figure 4
 //	go run ./examples/scaling -measured  # measured multi-worker step times
+//	go run ./examples/scaling -pp        # measured DP vs PP vs hybrid + pipeline axis
 package main
 
 import (
@@ -28,13 +35,16 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 )
 
 func main() {
 	figure := flag.Int("figure", 0, "4, 5, or 0 for both")
 	measured := flag.Bool("measured", false, "also run the real internal/dist engine at 1/2/4/8 workers and report measured scaling")
-	steps := flag.Int("steps", 30, "measured steps per worker count (with -measured)")
+	pp := flag.Bool("pp", false, "also run the real internal/pipeline engine: serial vs DP4 vs PP4 vs 2x2 hybrid ResNet step times, plus the analytic pipeline axis")
+	steps := flag.Int("steps", 30, "measured steps per worker count (with -measured / -pp)")
 	batch := flag.Int("batch", 256, "global batch for the measured engine (with -measured)")
+	ppBatch := flag.Int("pp-batch", 64, "global batch for the measured pipeline engine (with -pp)")
 	flag.Parse()
 
 	if *figure == 0 || *figure == 4 {
@@ -59,6 +69,112 @@ func main() {
 	}
 	if *measured {
 		runMeasured(*steps, *batch)
+	}
+	if *pp {
+		runPPMeasured(*steps, *ppBatch)
+	}
+}
+
+// runPPMeasured trains the ResNet workload under every parallelism layout
+// at a fixed global batch and a pinned microbatch count, so every
+// configuration performs bit-identical training and the only variable is
+// how the work is spread over goroutines: pure data parallelism
+// (internal/dist), pure pipeline parallelism under both schedules, and a
+// 2×2 hybrid (internal/pipeline). The tensor-kernel pool is pinned to one
+// worker, so the engines are the only source of parallelism.
+func runPPMeasured(steps, batch int) {
+	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
+	hp := models.DefaultImageHParams()
+	const micro = 8
+	const seed = 1
+
+	oldWorkers := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(oldWorkers)
+
+	fmt.Printf("\nMeasured DP vs PP vs hybrid: ResNet on internal/dist + internal/pipeline\n")
+	fmt.Printf("(global batch %d, %d microbatches, %d steps per point, serial kernels, %d core(s) available;\n"+
+		" all layouts train bit-identically — speedup requires spare cores)\n",
+		batch, micro, steps, runtime.GOMAXPROCS(0))
+
+	distStep := func(workers int) time.Duration {
+		var reps []*models.ImageClassification
+		eng, err := dist.New(dist.Config{
+			Workers: workers, Microshards: micro,
+			GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
+		}, func(worker int) dist.Replica {
+			m := models.NewImageClassification(ds, hp, seed)
+			reps = append(reps, m)
+			return dist.Replica{Model: m, Opt: m.Opt}
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer eng.Close()
+		eng.SetSchedule(reps[0].Sched)
+		for s := 0; s < steps; s++ {
+			eng.StepNext()
+		}
+		return eng.Stats().StepTime / time.Duration(steps)
+	}
+	pipeStep := func(stages, workers int, sched pipeline.Schedule) (time.Duration, pipeline.Stats) {
+		var reps []*models.ImageClassification
+		eng, err := pipeline.New(pipeline.Config{
+			Stages: stages, Workers: workers, Microbatches: micro, Schedule: sched,
+			GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
+		}, func(worker int) []pipeline.StageReplica {
+			m := models.NewImageClassification(ds, hp, seed)
+			reps = append(reps, m)
+			parts, err := m.PipelineStages(stages)
+			if err != nil {
+				panic(err)
+			}
+			return pipeline.Wrap(parts)
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer eng.Close()
+		eng.SetLRSchedule(reps[0].Sched)
+		for s := 0; s < steps; s++ {
+			eng.StepNext()
+		}
+		st := eng.Stats()
+		return st.StepTime / time.Duration(steps), st
+	}
+
+	serial := distStep(1)
+	fmt.Printf("  %-22s %10s/step   speedup %.2fx\n", "serial", serial.Round(time.Microsecond), 1.0)
+	dp4 := distStep(4)
+	fmt.Printf("  %-22s %10s/step   speedup %.2fx\n", "DP×4", dp4.Round(time.Microsecond), float64(serial)/float64(dp4))
+	for _, sched := range []pipeline.Schedule{pipeline.GPipe, pipeline.OneFOneB} {
+		t, st := pipeStep(4, 1, sched)
+		fmt.Printf("  %-22s %10s/step   speedup %.2fx   activations %6.1f KiB/step\n",
+			"PP×4 ("+string(sched)+")", t.Round(time.Microsecond), float64(serial)/float64(t),
+			float64(st.ActivationBytes)/float64(st.Steps)/1024)
+	}
+	t22, st22 := pipeStep(2, 2, pipeline.OneFOneB)
+	fmt.Printf("  %-22s %10s/step   speedup %.2fx   activations %6.1f KiB/step   ring %6.1f KiB/step\n",
+		"hybrid DP×2 PP×2", t22.Round(time.Microsecond), float64(serial)/float64(t22),
+		float64(st22.ActivationBytes)/float64(st22.Steps)/1024,
+		float64(st22.RingBytes)/float64(st22.Steps)/1024)
+
+	// Analytic pipeline axis: the bubble model at the measured shapes, and
+	// the FigurePP sweep showing where a pipeline depth pays off at scale.
+	_, v06 := cluster.Rounds()
+	fmt.Printf("\nAnalytic fill-drain inflation (M+S-1)/M, i.e. 1 + the (S-1)/M bubble: ")
+	for _, s := range []int{1, 2, 4} {
+		fmt.Printf("S=%d: %.3fx  ", s, cluster.PipelineConfig{Stages: s, Microbatches: micro}.Bubble())
+	}
+	fmt.Println()
+	fmt.Println("\nFigure 5 with a pipeline axis (v0.6 rules, 4096 chips, depth swept 1..8):")
+	for _, r := range cluster.FigurePP(v06, 4096, 8) {
+		layout := "pure DP"
+		if r.BestStages > 1 {
+			layout = fmt.Sprintf("DP×%d PP×%d (M=%d)", 4096/r.BestStages, r.BestStages, r.BestMicro)
+		}
+		fmt.Printf("  %-32s best %-22s %8s (pure DP %8s, %.2fx)\n",
+			r.Benchmark, layout, cluster.FormatDuration(r.HybridTime), cluster.FormatDuration(r.DPTime), r.Speedup)
 	}
 }
 

@@ -66,6 +66,9 @@ type Tape struct {
 	consts []*Var
 	nc     int // active const count this pass
 
+	leaves []*Var
+	nl     int // active pooled-leaf count this pass
+
 	watch map[*Param]*Var // cached leaf Vars, stable across passes
 
 	alloc arena.Allocator // optional buffer source for node tensors
@@ -86,6 +89,7 @@ func NewTapeIn(a arena.Allocator) *Tape { return &Tape{alloc: a} }
 func (t *Tape) Reset() {
 	t.n = 0
 	t.nc = 0
+	t.nl = 0
 }
 
 // record appends a legacy closure-based backward step. Ops recorded this
@@ -149,6 +153,38 @@ func (t *Tape) Watch(p *Param) *Var {
 // It is mainly used by tests and by ops that need an internal grad sink.
 func (t *Tape) Leaf(value *tensor.Tensor) *Var {
 	return &Var{Value: value, Grad: tensor.New(value.Shape...), tape: t}
+}
+
+// BackwardSeeded replays every recorded backward step in reverse order
+// WITHOUT seeding a loss gradient. Callers must have accumulated output
+// gradients into the relevant Vars' Grad buffers first — the contract the
+// pipeline-parallel engine uses on non-final stages, where the "loss
+// gradient" arrives from the downstream stage as an activation gradient.
+func (t *Tape) BackwardSeeded() {
+	for i := t.n - 1; i >= 0; i-- {
+		nd := t.nodes[i]
+		nd.back(nd)
+	}
+}
+
+// LeafOf is Leaf with tape-pooled storage: the returned Var (and its zeroed
+// gradient buffer) is reused at the same position after each Reset, so
+// steady-state loops can wrap boundary activations as differentiable leaves
+// without allocating. The Var is valid until the next Reset; the gradient
+// buffer is drawn from the tape's arena when it has one.
+func (t *Tape) LeafOf(value *tensor.Tensor) *Var {
+	var v *Var
+	if t.nl < len(t.leaves) {
+		v = t.leaves[t.nl]
+	} else {
+		v = &Var{}
+		t.leaves = append(t.leaves, v)
+	}
+	t.nl++
+	v.Value, v.tape = value, t
+	t.ensureTensor(&v.Grad, value.Shape...)
+	v.Grad.Zero()
+	return v
 }
 
 // Const wraps a tensor as a non-differentiable input (e.g. a data batch).

@@ -151,6 +151,11 @@ func (t *Tape) ReleaseBuffers() {
 	t.nodes = t.nodes[:0]
 	t.n = 0
 	t.nc = 0
+	for _, v := range t.leaves {
+		releaseIfArena(&v.Grad)
+	}
+	t.leaves = t.leaves[:0]
+	t.nl = 0
 }
 
 // releaseIfArena releases *pt when it is an arena-backed tensor the tape

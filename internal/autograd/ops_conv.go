@@ -381,19 +381,32 @@ type RoIBox struct {
 // [size,size] with bilinear interpolation (one sample per bin, the
 // simplified RoIAlign used in lightweight Mask R-CNN implementations).
 // Output is [R, C, size, size]. Box coordinates are not differentiable.
+// The op follows the pooled slot-replay regime: the per-output bilinear
+// taps (4 input indices + 4 weights) land in the node's pooled idx/buf
+// arrays and backward is a package-level function, so warm passes record
+// and replay it without heap allocations.
 func RoIAlign(x *Var, boxes []RoIBox, size int) *Var {
 	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
 	r := len(boxes)
-	val := tensor.New(r, c, size, size)
-	// For backward we record, per output element, the 4 input indices and
-	// bilinear weights used.
-	type tap struct {
-		idx [4]int
-		wgt [4]float64
+
+	tp := tapeOf(x)
+	var nd *node
+	var val *tensor.Tensor
+	var tapIdx []int
+	var tapWgt []float64
+	outSize := r * c * size * size
+	if tp != nil {
+		nd = tp.node(opGeneric, roiAlignBack, x, nil, nil)
+		val = tp.result(nd, r, c, size, size).Value
+		nd.idx = intsCap(nd.idx, 4*outSize)
+		nd.buf = floatsCap(nd.buf, 4*outSize)
+		tapIdx, tapWgt = nd.idx, nd.buf
+	} else {
+		val = tensor.New(r, c, size, size)
 	}
-	taps := make([]tap, r*c*size*size)
+
 	oi := 0
-	for ri, box := range boxes {
+	for _, box := range boxes {
 		if box.Batch < 0 || box.Batch >= n {
 			panic(fmt.Sprintf("autograd: RoIAlign batch %d out of %d", box.Batch, n))
 		}
@@ -424,35 +437,45 @@ func RoIAlign(x *Var, boxes []RoIBox, size int) *Var {
 					i11 := base + y1*w + x1
 					val.Data[oi] = w00*x.Value.Data[i00] + w01*x.Value.Data[i01] +
 						w10*x.Value.Data[i10] + w11*x.Value.Data[i11]
-					taps[oi] = tap{idx: [4]int{i00, i01, i10, i11}, wgt: [4]float64{w00, w01, w10, w11}}
+					if tp != nil {
+						o4 := 4 * oi
+						tapIdx[o4], tapIdx[o4+1], tapIdx[o4+2], tapIdx[o4+3] = i00, i01, i10, i11
+						tapWgt[o4], tapWgt[o4+1], tapWgt[o4+2], tapWgt[o4+3] = w00, w01, w10, w11
+					}
 					oi++
 				}
 			}
 		}
-		_ = ri
 	}
-	tp := tapeOf(x)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			for i, t := range taps {
-				g := out.Grad.Data[i]
-				if g == 0 {
-					continue
-				}
-				for k := 0; k < 4; k++ {
-					x.Grad.Data[t.idx[k]] += g * t.wgt[k]
-				}
-			}
-		})
+	if tp == nil {
+		return constResult(val)
 	}
-	return out
+	return &nd.out
+}
+
+func roiAlignBack(nd *node) {
+	x := nd.a
+	if x.tape == nil {
+		return
+	}
+	for i, g := range nd.out.Grad.Data {
+		if g == 0 {
+			continue
+		}
+		o4 := 4 * i
+		for k := 0; k < 4; k++ {
+			x.Grad.Data[nd.idx[o4+k]] += g * nd.buf[o4+k]
+		}
+	}
 }
 
 // SpatialRows rearranges a conv head output [N, G*K, H, W] into per-anchor
 // rows [N*H*W*G, K]: row ordering is image-major, then raster order (y, x),
 // then group g. Detection heads use it to turn per-cell, per-anchor channel
 // groups into classification/regression rows.
+// SpatialRows is a pure index permutation, so backward replays it from the
+// node's recorded group width alone (package-level backward, no per-step
+// closure or scratch — pooled slot-replay regime).
 func SpatialRows(x *Var, k int) *Var {
 	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
 	if c%k != 0 {
@@ -460,7 +483,17 @@ func SpatialRows(x *Var, k int) *Var {
 	}
 	g := c / k
 	rows := n * h * w * g
-	val := tensor.New(rows, k)
+
+	tp := tapeOf(x)
+	var nd *node
+	var val *tensor.Tensor
+	if tp != nil {
+		nd = tp.node(opGeneric, spatialRowsBack, x, nil, nil)
+		nd.i0 = k
+		val = tp.result(nd, rows, k).Value
+	} else {
+		val = tensor.New(rows, k)
+	}
 	ri := 0
 	for in := 0; in < n; in++ {
 		for y := 0; y < h; y++ {
@@ -475,25 +508,32 @@ func SpatialRows(x *Var, k int) *Var {
 			}
 		}
 	}
-	tp := tapeOf(x)
-	out := newResult(tp, val)
-	if tp != nil {
-		tp.record(func() {
-			ri := 0
-			for in := 0; in < n; in++ {
-				for y := 0; y < h; y++ {
-					for xx := 0; xx < w; xx++ {
-						for gi := 0; gi < g; gi++ {
-							for ki := 0; ki < k; ki++ {
-								ch := gi*k + ki
-								x.Grad.Data[((in*c+ch)*h+y)*w+xx] += out.Grad.Data[ri*k+ki]
-							}
-							ri++
-						}
+	if tp == nil {
+		return constResult(val)
+	}
+	return &nd.out
+}
+
+func spatialRowsBack(nd *node) {
+	x := nd.a
+	if x.tape == nil {
+		return
+	}
+	k := nd.i0
+	n, c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2], x.Value.Shape[3]
+	g := c / k
+	ri := 0
+	for in := 0; in < n; in++ {
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				for gi := 0; gi < g; gi++ {
+					for ki := 0; ki < k; ki++ {
+						ch := gi*k + ki
+						x.Grad.Data[((in*c+ch)*h+y)*w+xx] += nd.out.Grad.Data[ri*k+ki]
 					}
+					ri++
 				}
 			}
-		})
+		}
 	}
-	return out
 }

@@ -47,6 +47,10 @@ type WorkloadModel struct {
 	FlopsPerSample float64
 	// ModelBytes is the gradient payload all-reduced each step.
 	ModelBytes float64
+	// ActBytesPerSample is the per-example boundary-activation payload a
+	// pipeline stage forwards to its successor (and receives back as a
+	// gradient), used by the pipeline-parallel step model.
+	ActBytesPerSample float64
 	// BaseEpochs is the epochs-to-target at small batch (E0).
 	BaseEpochs float64
 	// CritBatch is the batch size where the large-batch penalty bites:
@@ -217,25 +221,25 @@ func ReferenceNetwork() Interconnect {
 func WorkloadModels() []WorkloadModel {
 	return []WorkloadModel{
 		{ID: "image_classification", DatasetN: 1.28e6, FlopsPerSample: 2.3e10,
-			ModelBytes: 1.0e8, BaseEpochs: 57, CritBatch: 35000,
+			ModelBytes: 1.0e8, ActBytesPerSample: 3.2e6, BaseEpochs: 57, CritBatch: 35000,
 			MaxBatchPerChip: 256, MinBatchPerChip: 4},
 		{ID: "object_detection_ssd", DatasetN: 1.18e5, FlopsPerSample: 8.8e10,
-			ModelBytes: 1.4e8, BaseEpochs: 50, CritBatch: 9000,
+			ModelBytes: 1.4e8, ActBytesPerSample: 4.6e6, BaseEpochs: 50, CritBatch: 9000,
 			MaxBatchPerChip: 128, MinBatchPerChip: 2},
 		{ID: "instance_segmentation_maskrcnn", DatasetN: 1.18e5, FlopsPerSample: 8.0e11,
-			ModelBytes: 1.8e8, BaseEpochs: 13, CritBatch: 1400,
+			ModelBytes: 1.8e8, ActBytesPerSample: 8.0e6, BaseEpochs: 13, CritBatch: 1400,
 			MaxBatchPerChip: 16, MinBatchPerChip: 1},
 		{ID: "translation_gnmt", DatasetN: 4.5e6, FlopsPerSample: 4.0e10,
-			ModelBytes: 6.5e8, BaseEpochs: 5, CritBatch: 9000,
+			ModelBytes: 6.5e8, ActBytesPerSample: 4.0e5, BaseEpochs: 5, CritBatch: 9000,
 			MaxBatchPerChip: 128, MinBatchPerChip: 4},
 		{ID: "translation_transformer", DatasetN: 4.5e6, FlopsPerSample: 2.0e10,
-			ModelBytes: 8.4e8, BaseEpochs: 7, CritBatch: 16000,
+			ModelBytes: 8.4e8, ActBytesPerSample: 2.1e5, BaseEpochs: 7, CritBatch: 16000,
 			MaxBatchPerChip: 256, MinBatchPerChip: 8},
 		{ID: "recommendation", DatasetN: 2.0e7, FlopsPerSample: 4.0e7,
-			ModelBytes: 5.0e8, BaseEpochs: 13, CritBatch: 200000,
+			ModelBytes: 5.0e8, ActBytesPerSample: 2.0e3, BaseEpochs: 13, CritBatch: 200000,
 			MaxBatchPerChip: 16384, MinBatchPerChip: 256},
 		{ID: "reinforcement_learning", DatasetN: 2.0e6, FlopsPerSample: 1.0e10,
-			ModelBytes: 2.4e7, BaseEpochs: 20, CritBatch: 7000,
+			ModelBytes: 2.4e7, ActBytesPerSample: 2.6e4, BaseEpochs: 20, CritBatch: 7000,
 			MaxBatchPerChip: 64, MinBatchPerChip: 1},
 	}
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A pipeline-parallel run must flow through the same timing rules and
+// produce the same MLLOG structure as a serial run.
+func TestPPBenchmarkRunProducesCompliantLog(t *testing.T) {
+	b, err := PPBenchmark(V05, "image_classification", 2, 1, 4, "1f1b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Model, "pipeline") {
+		t.Fatalf("model description %q not annotated", b.Model)
+	}
+	var buf bytes.Buffer
+	r := Run(b, RunConfig{
+		Seed:      1,
+		MaxEpochs: 1,
+		Clock:     NewTickClock(time.Millisecond),
+		LogWriter: &buf,
+	})
+	if r.Epochs != 1 {
+		t.Fatalf("epochs = %d", r.Epochs)
+	}
+	if r.FinalQuality <= 0 || r.FinalQuality > 1 {
+		t.Fatalf("implausible top-1 accuracy %v", r.FinalQuality)
+	}
+	log := buf.String()
+	for _, key := range []string{"run_start", "run_stop", "eval_accuracy", "benchmark"} {
+		if !strings.Contains(log, key) {
+			t.Fatalf("MLLOG stream missing %q:\n%s", key, log)
+		}
+	}
+}
+
+// Hybrid DP×PP runs train to the same quality as pure pipeline runs at the
+// same seed and microbatch count (trainable parameters are bit-identical;
+// only per-replica BatchNorm statistics may drift, which the shared-model
+// evaluation path tolerates).
+func TestPPBenchmarkHybridAnnotated(t *testing.T) {
+	b, err := PPBenchmark(V05, "image_classification", 2, 2, 4, "gpipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Model, "hybrid DP×2 PP×2") {
+		t.Fatalf("model description %q not annotated as hybrid", b.Model)
+	}
+	r := Run(b, RunConfig{Seed: 2, MaxEpochs: 1, Clock: NewTickClock(time.Millisecond)})
+	if r.Epochs != 1 {
+		t.Fatalf("epochs = %d", r.Epochs)
+	}
+}
+
+// Unsupported benchmarks, bad shapes, and bad schedules are rejected up
+// front on the clean error path.
+func TestPPBenchmarkValidation(t *testing.T) {
+	if _, err := PPBenchmark(V05, "recommendation", 2, 1, 0, ""); err == nil {
+		t.Fatal("expected unsupported-benchmark error")
+	}
+	if _, err := PPBenchmark(V05, "image_classification", 0, 1, 0, ""); err == nil {
+		t.Fatal("expected invalid-stage-count error")
+	}
+	if _, err := PPBenchmark(V05, "image_classification", 2, 0, 0, ""); err == nil {
+		t.Fatal("expected invalid-worker-count error")
+	}
+	if _, err := PPBenchmark(V05, "image_classification", 2, 2, 3, ""); err == nil {
+		t.Fatal("expected microbatch-multiple error")
+	}
+	if _, err := PPBenchmark(V05, "image_classification", 2, 1, 0, "zigzag"); err == nil {
+		t.Fatal("expected unknown-schedule error")
+	}
+	if _, err := PPBenchmark(V05, "nope", 2, 1, 0, ""); err == nil {
+		t.Fatal("expected unknown-benchmark error")
+	}
+}

@@ -126,13 +126,12 @@ type Engine struct {
 	agg    [][]float64 // K per-worker aggregated gradients
 	losses []float64   // F per-microshard weighted losses
 
-	// Ring state, allocated once from the engine arena: both channel sets
-	// are fully drained by the end of every step, and the traveling chunk
-	// buffers are quiescent after the step barrier, so reuse keeps
-	// allocation out of the timed hot path that Stats.StepTime measures.
-	reduceCh []chan []float64
-	gatherCh []chan []float64
-	ringbuf  [][]float64
+	// ring is the chunked all-reduce collective, allocated once from the
+	// engine arena: its channels are fully drained by the end of every step
+	// and the traveling chunk buffers are quiescent after the step barrier,
+	// so reuse keeps allocation out of the timed hot path that
+	// Stats.StepTime measures.
+	ring *Ring
 
 	// Steady-state worker state. Workers are persistent goroutines (spawned
 	// in New, stopped by Close): each owns a tape whose graph buffers are
@@ -169,11 +168,24 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	if cfg.DropLast && cfg.GlobalBatch > cfg.DatasetN {
 		return nil, fmt.Errorf("dist: DropLast with GlobalBatch %d > DatasetN %d yields zero steps per epoch", cfg.GlobalBatch, cfg.DatasetN)
 	}
+	if cfg.Chunks < 0 {
+		return nil, fmt.Errorf("dist: Chunks %d < 0 (0 selects Workers)", cfg.Chunks)
+	}
+	if cfg.Microshards < 0 {
+		return nil, fmt.Errorf("dist: Microshards %d < 0 (0 selects Workers)", cfg.Microshards)
+	}
 	if cfg.Microshards == 0 {
 		cfg.Microshards = cfg.Workers
 	}
 	if cfg.Microshards < cfg.Workers || cfg.Microshards%cfg.Workers != 0 {
 		return nil, fmt.Errorf("dist: Microshards %d must be a positive multiple of Workers %d", cfg.Microshards, cfg.Workers)
+	}
+	if cfg.Microshards > cfg.GlobalBatch {
+		// With more microshards than examples per batch, some microshards
+		// are empty on EVERY step, so the workers owning only empty shards
+		// would silently train nothing (Workers > GlobalBatch is the
+		// degenerate case, since Microshards defaults to Workers).
+		return nil, fmt.Errorf("dist: Microshards %d > GlobalBatch %d leaves permanently empty gradient shards (reduce Workers/Microshards or raise the batch)", cfg.Microshards, cfg.GlobalBatch)
 	}
 	if factory == nil {
 		return nil, fmt.Errorf("dist: nil replica factory")
@@ -198,14 +210,6 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 		}
 	}
 
-	e.chunks = cfg.Chunks
-	if e.chunks <= 0 {
-		e.chunks = cfg.Workers
-	}
-	if e.chunks > e.flatLen {
-		e.chunks = e.flatLen
-	}
-
 	e.loader = data.NewLoader(cfg.DatasetN, cfg.GlobalBatch, LoaderRNG(cfg.Seed))
 	e.loader.DropLast = cfg.DropLast
 
@@ -227,19 +231,8 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	}
 	e.losses = make([]float64, cfg.Microshards)
 	e.shards = make([][]int, cfg.Microshards)
-	if cfg.Workers > 1 {
-		e.reduceCh = make([]chan []float64, cfg.Workers)
-		e.gatherCh = make([]chan []float64, cfg.Workers)
-		for w := 0; w < cfg.Workers; w++ {
-			e.reduceCh[w] = make(chan []float64, e.chunks)
-			e.gatherCh[w] = make(chan []float64, e.chunks)
-		}
-		e.ringbuf = make([][]float64, e.chunks)
-		for c := range e.ringbuf {
-			lo, hi := e.chunkRange(c)
-			e.ringbuf[c] = e.buffers.Get(hi - lo)
-		}
-	}
+	e.ring = NewRing(cfg.Workers, cfg.Chunks, e.flatLen, e.buffers)
+	e.chunks = e.ring.Chunks()
 
 	// Per-worker steady-state state: a tape backed by a private free list
 	// over the engine arena (only that worker's goroutine touches it) and a
@@ -262,7 +255,7 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 			e.startCh[w] = make(chan struct{}, 1)
 			go func(w int) {
 				for range e.startCh[w] {
-					e.runWorker(w, e.shards, e.invB, e.reduceCh, e.gatherCh)
+					e.runWorker(w, e.shards, e.invB)
 					e.stepWG.Done()
 				}
 			}(w)
@@ -290,10 +283,8 @@ func (e *Engine) Close() {
 	for _, buf := range e.agg {
 		e.buffers.Put(buf)
 	}
-	for _, buf := range e.ringbuf {
-		e.buffers.Put(buf)
-	}
-	e.gbuf, e.agg, e.ringbuf = nil, nil, nil
+	e.ring.Close()
+	e.gbuf, e.agg = nil, nil
 	// The tapes hold the dominant buffer population (activations,
 	// gradients, conv scratch); release them into the per-worker free
 	// lists and spill those to the shared arena so the next engine drawing
@@ -372,12 +363,6 @@ func MicroshardRNGInto(dst *tensor.RNG, seed uint64, step, m int) {
 // only be built after the replicas exist.
 func (e *Engine) SetSchedule(s opt.Schedule) { e.cfg.Schedule = s }
 
-// chunkRange returns ring chunk c's half-open range in the flat vector,
-// using the same contiguous-split arithmetic as data.Shard.
-func (e *Engine) chunkRange(c int) (lo, hi int) {
-	return c * e.flatLen / e.chunks, (c + 1) * e.flatLen / e.chunks
-}
-
 // StepNext draws the next global minibatch from the engine's loader and
 // executes one synchronous data-parallel step, returning the mean loss.
 func (e *Engine) StepNext() float64 {
@@ -413,26 +398,22 @@ func (e *Engine) Step(idx []int) float64 {
 	e.invB = 1 / float64(len(idx))
 
 	if K == 1 {
-		e.runWorker(0, e.shards, e.invB, nil, nil)
+		e.runWorker(0, e.shards, e.invB)
 	} else {
 		// Wake the persistent workers (spawned in New) and wait for the
 		// step barrier. The channel sends happen-before each worker's
 		// iteration, so the shard/invB writes above are visible to it; the
 		// WaitGroup orders the workers' writes before the loss reduction
-		// below. Ring links: reduceCh[w] carries partially-reduced chunks
-		// from worker w-1 to worker w (the reduce-scatter leg, flowing
-		// 0 -> 1 -> ... -> K-1); gatherCh[w] carries fully-reduced chunks
-		// to worker w (the all-gather leg, flowing K-1 -> 0 -> ... -> K-2).
-		// Capacity Chunks makes every send non-blocking, so the two legs
-		// pipeline freely without deadlock, and both channel sets drain
-		// completely each step.
+		// below. The workers rendezvous inside Ring.AllReduce, whose
+		// buffered channels make every send non-blocking, so the two
+		// collective legs pipeline freely without deadlock.
 		e.stepWG.Add(K)
 		for w := 0; w < K; w++ {
 			e.startCh[w] <- struct{}{}
 		}
 		e.stepWG.Wait()
-		e.stats.RingMessages += 2 * (K - 1) * e.chunks
-		e.stats.RingBytes += 2 * (K - 1) * e.flatLen * 8
+		e.stats.RingMessages += e.ring.RoundMessages()
+		e.stats.RingBytes += e.ring.RoundBytes()
 	}
 
 	e.step++
@@ -451,7 +432,7 @@ func (e *Engine) Step(idx []int) float64 {
 // runWorker is one worker's contribution to a step: local microshard
 // gradients, the ring exchange, and the local optimizer update. Worker w
 // owns the contiguous microshards [w·F/K, (w+1)·F/K).
-func (e *Engine) runWorker(w int, shards [][]int, invB float64, reduce, gather []chan []float64) {
+func (e *Engine) runWorker(w int, shards [][]int, invB float64) {
 	K, F := e.cfg.Workers, e.cfg.Microshards
 	mlo, mhi := w*F/K, (w+1)*F/K
 	rep := e.replicas[w]
@@ -486,64 +467,7 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64, reduce, gather [
 
 	// --- Ring all-reduce over the flattened gradient ---
 	agg := e.agg[w]
-	if K == 1 {
-		// Degenerate ring: same ascending-microshard accumulation order as
-		// the multi-worker path, chunk by chunk.
-		for c := 0; c < e.chunks; c++ {
-			lo, hi := e.chunkRange(c)
-			for i := lo; i < hi; i++ {
-				agg[i] = 0
-			}
-			for m := 0; m < F; m++ {
-				row := e.gbuf[m]
-				for i := lo; i < hi; i++ {
-					agg[i] += row[i]
-				}
-			}
-		}
-	} else {
-		// Reduce-scatter leg: chunk c starts as a zero buffer at worker 0
-		// and flows up the ring; each worker adds its owned microshard rows
-		// in ascending order, so the finished chunk at worker K-1 is the
-		// ascending-m sum — the fixed reduction order the determinism
-		// contract requires.
-		for c := 0; c < e.chunks; c++ {
-			lo, hi := e.chunkRange(c)
-			var buf []float64
-			if w == 0 {
-				buf = e.ringbuf[c]
-				for i := range buf {
-					buf[i] = 0
-				}
-			} else {
-				buf = <-reduce[w]
-			}
-			for m := mlo; m < mhi; m++ {
-				row := e.gbuf[m]
-				for i := lo; i < hi; i++ {
-					buf[i-lo] += row[i]
-				}
-			}
-			if w < K-1 {
-				reduce[w+1] <- buf
-			} else {
-				copy(agg[lo:hi], buf)
-				gather[0] <- buf // start the all-gather leg
-			}
-		}
-		// All-gather leg: fully-reduced chunks flow K-1 -> 0 -> ... -> K-2;
-		// every worker copies each chunk into its local aggregate.
-		if w < K-1 {
-			for c := 0; c < e.chunks; c++ {
-				buf := <-gather[w]
-				lo, hi := e.chunkRange(c)
-				copy(agg[lo:hi], buf)
-				if w+1 < K-1 {
-					gather[w+1] <- buf
-				}
-			}
-		}
-	}
+	e.ring.AllReduce(w, e.gbuf, mlo, mhi, agg)
 
 	// --- Apply the aggregated gradient once per step ---
 	autograd.ScatterGrads(agg, params)

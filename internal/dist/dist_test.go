@@ -251,6 +251,12 @@ func TestDPEngineValidation(t *testing.T) {
 		{"zero batch", dist.Config{Workers: 2, GlobalBatch: 0, DatasetN: 100}, okFactory},
 		{"zero dataset", dist.Config{Workers: 2, GlobalBatch: 8, DatasetN: 0}, okFactory},
 		{"microshards not multiple", dist.Config{Workers: 4, Microshards: 6, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"negative workers", dist.Config{Workers: -1, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"negative chunks", dist.Config{Workers: 2, Chunks: -1, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"negative microshards", dist.Config{Workers: 2, Microshards: -2, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"microshards exceed batch", dist.Config{Workers: 2, Microshards: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"workers exceed batch", dist.Config{Workers: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"droplast batch over dataset", dist.Config{Workers: 2, GlobalBatch: 200, DatasetN: 100, DropLast: true}, okFactory},
 		{"nil factory", dist.Config{Workers: 2, GlobalBatch: 8, DatasetN: 100}, nil},
 		{"mismatched replicas", dist.Config{Workers: 2, GlobalBatch: 8, DatasetN: 100}, func(worker int) dist.Replica {
 			m := models.NewRecommendation(ds, hp, uint64(worker)) // different seeds: different init

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/arena"
+)
+
+// Ring is a reusable K-member chunked ring all-reduce over rows of
+// flattened gradient contributions — the collective extracted from the
+// data-parallel engine so other engines (notably the pipeline-parallel
+// stage groups in internal/pipeline) can share one deterministic
+// implementation.
+//
+// A reduction round sums a set of rows (each flatLen long) in ascending row
+// order into every member's aggregate buffer. Member w contributes the
+// contiguous row range it owns; the reduce-scatter leg pipelines chunks up
+// the ring 0 → 1 → … → K−1 with each member adding its rows in ascending
+// order, and the all-gather leg circulates the finished chunks K−1 → 0 → …
+// → K−2. Because each chunk's partial sums accumulate strictly in ascending
+// row order, the result is bit-identical to a serial ascending sum — the
+// determinism contract both engines' tests assert.
+//
+// All channel and traveling-chunk state is allocated once in NewRing, so a
+// warm AllReduce performs zero heap allocations.
+type Ring struct {
+	members int
+	chunks  int
+	flatLen int
+
+	// reduce[w] carries partially-reduced chunks from member w-1 to member
+	// w; gather[w] carries fully-reduced chunks to member w. Capacity
+	// chunks makes every send non-blocking, so the two legs pipeline
+	// freely without deadlock and both channel sets drain every round.
+	reduce []chan []float64
+	gather []chan []float64
+	bufs   [][]float64
+
+	buffers *arena.Arena
+}
+
+// NewRing builds a ring over the given member count, chunk count (the
+// pipelining grain, clamped to [1, flatLen]; it never affects results),
+// and flat vector length, drawing its traveling chunk buffers from the
+// arena. A single-member ring degenerates to a serial ascending-row sum
+// and allocates no channel state.
+func NewRing(members, chunks, flatLen int, buffers *arena.Arena) *Ring {
+	if members < 1 {
+		panic(fmt.Sprintf("dist: NewRing members %d < 1", members))
+	}
+	if flatLen < 1 {
+		panic(fmt.Sprintf("dist: NewRing flatLen %d < 1", flatLen))
+	}
+	if chunks < 1 {
+		chunks = members
+	}
+	if chunks > flatLen {
+		chunks = flatLen
+	}
+	r := &Ring{members: members, chunks: chunks, flatLen: flatLen, buffers: buffers}
+	if members > 1 {
+		r.reduce = make([]chan []float64, members)
+		r.gather = make([]chan []float64, members)
+		for w := 0; w < members; w++ {
+			r.reduce[w] = make(chan []float64, chunks)
+			r.gather[w] = make(chan []float64, chunks)
+		}
+		r.bufs = make([][]float64, chunks)
+		for c := range r.bufs {
+			lo, hi := r.ChunkRange(c)
+			r.bufs[c] = buffers.Get(hi - lo)
+		}
+	}
+	return r
+}
+
+// Members returns the ring's member count.
+func (r *Ring) Members() int { return r.members }
+
+// Chunks returns the effective chunk count after clamping.
+func (r *Ring) Chunks() int { return r.chunks }
+
+// ChunkRange returns chunk c's half-open range in the flat vector, using
+// the same contiguous-split arithmetic as data.Shard.
+func (r *Ring) ChunkRange(c int) (lo, hi int) {
+	return c * r.flatLen / r.chunks, (c + 1) * r.flatLen / r.chunks
+}
+
+// RoundMessages returns the number of point-to-point chunk transfers one
+// full reduction round performs.
+func (r *Ring) RoundMessages() int { return 2 * (r.members - 1) * r.chunks }
+
+// RoundBytes returns the total payload one full reduction round moves over
+// ring links (8 bytes per float64 element).
+func (r *Ring) RoundBytes() int { return 2 * (r.members - 1) * r.flatLen * 8 }
+
+// AllReduce executes member w's part of one reduction round: rows[rlo:rhi)
+// are the rows member w contributes, and on return agg holds the ascending-
+// order sum of ALL rows (identical bits at every member). Every member must
+// call AllReduce concurrently once per round; rows is shared state whose
+// row range [rlo, rhi) must be fully written by member w before its call.
+func (r *Ring) AllReduce(w int, rows [][]float64, rlo, rhi int, agg []float64) {
+	if r.members == 1 {
+		// Degenerate ring: same ascending-row accumulation order as the
+		// multi-member path, chunk by chunk.
+		for c := 0; c < r.chunks; c++ {
+			lo, hi := r.ChunkRange(c)
+			for i := lo; i < hi; i++ {
+				agg[i] = 0
+			}
+			for m := range rows {
+				row := rows[m]
+				for i := lo; i < hi; i++ {
+					agg[i] += row[i]
+				}
+			}
+		}
+		return
+	}
+
+	K := r.members
+	// Reduce-scatter leg: chunk c starts as a zero buffer at member 0 and
+	// flows up the ring; each member adds its owned rows in ascending
+	// order, so the finished chunk at member K-1 is the ascending-row sum —
+	// the fixed reduction order the determinism contract requires.
+	for c := 0; c < r.chunks; c++ {
+		lo, hi := r.ChunkRange(c)
+		var buf []float64
+		if w == 0 {
+			buf = r.bufs[c]
+			for i := range buf {
+				buf[i] = 0
+			}
+		} else {
+			buf = <-r.reduce[w]
+		}
+		for m := rlo; m < rhi; m++ {
+			row := rows[m]
+			for i := lo; i < hi; i++ {
+				buf[i-lo] += row[i]
+			}
+		}
+		if w < K-1 {
+			r.reduce[w+1] <- buf
+		} else {
+			copy(agg[lo:hi], buf)
+			r.gather[0] <- buf // start the all-gather leg
+		}
+	}
+	// All-gather leg: fully-reduced chunks flow K-1 -> 0 -> ... -> K-2;
+	// every member copies each chunk into its local aggregate.
+	if w < K-1 {
+		for c := 0; c < r.chunks; c++ {
+			buf := <-r.gather[w]
+			lo, hi := r.ChunkRange(c)
+			copy(agg[lo:hi], buf)
+			if w+1 < K-1 {
+				r.gather[w+1] <- buf
+			}
+		}
+	}
+}
+
+// Close returns the ring's traveling chunk buffers to its arena. The ring
+// must not be used afterwards; Close is idempotent.
+func (r *Ring) Close() {
+	for _, buf := range r.bufs {
+		r.buffers.Put(buf)
+	}
+	r.bufs = nil
+}

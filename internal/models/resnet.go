@@ -163,6 +163,19 @@ type ImageClassification struct {
 	blabels []int
 }
 
+// imageOptimizer builds the benchmark optimizer for a parameter list.
+// Factored out so staged (pipeline-parallel) training can give each stage
+// an optimizer with hyperparameters identical to the serial one — the
+// optimizers are elementwise, so per-stage instances over disjoint
+// parameter shards update exactly as one instance over all parameters.
+func imageOptimizer(hp ImageHParams, params []*autograd.Param) opt.Optimizer {
+	lr := opt.LinearScaled(hp.BaseLR, hp.Batch, hp.RefBatch)
+	if hp.UseLARS {
+		return opt.NewLARS(params, lr, hp.Momentum, hp.WeightDecay, 0.02)
+	}
+	return opt.NewSGD(params, lr, hp.Momentum, hp.WeightDecay, hp.MomentumStyle)
+}
+
 // NewImageClassification builds the workload from a dataset, hyperparams,
 // and a run seed (weight init, shuffling, and augmentation all derive from
 // it — the §2.2.3 stochasticity sources).
@@ -171,12 +184,7 @@ func NewImageClassification(ds *datasets.ImageDataset, hp ImageHParams, seed uin
 	net := NewResNet(ds.Cfg.Channels, ds.Cfg.Classes, hp.Width, rng.Split(1))
 	params := net.Params()
 	lr := opt.LinearScaled(hp.BaseLR, hp.Batch, hp.RefBatch)
-	var o opt.Optimizer
-	if hp.UseLARS {
-		o = opt.NewLARS(params, lr, hp.Momentum, hp.WeightDecay, 0.02)
-	} else {
-		o = opt.NewSGD(params, lr, hp.Momentum, hp.WeightDecay, hp.MomentumStyle)
-	}
+	o := imageOptimizer(hp, params)
 	w := &ImageClassification{
 		HP: hp, DS: ds, Net: net, Opt: o,
 		params: params,

@@ -159,6 +159,15 @@ type Translation struct {
 	loader         *data.Loader
 	rng            *tensor.RNG
 	epoch, steps   int
+
+	// Reused microbatch id buffers (MicrobatchLoss).
+	mbSrc, mbDec, mbLab []int
+}
+
+// mtOptimizer builds the translation benchmark optimizer for a parameter
+// list (factored out for per-stage pipeline optimizers; see imageOptimizer).
+func mtOptimizer(hp MTHParams, params []*autograd.Param) opt.Optimizer {
+	return opt.NewAdam(params, hp.LR, 0.9, 0.98, 1e-9, 0)
 }
 
 // NewTranslation builds the Transformer workload.
@@ -168,7 +177,7 @@ func NewTranslation(ds *datasets.MTDataset, hp MTHParams, seed uint64) *Translat
 	params := net.Params()
 	w := &Translation{
 		HP: hp, DS: ds, Net: net,
-		Opt:    opt.NewAdam(params, hp.LR, 0.9, 0.98, 1e-9, 0),
+		Opt:    mtOptimizer(hp, params),
 		Sched:  opt.InverseSqrt{Base: hp.LR, WarmupSteps: hp.Warmup},
 		srcLen: ds.Cfg.MaxLen,
 		tgtLen: ds.Cfg.MaxLen + 1, // room for EOS

@@ -1,0 +1,62 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+)
+
+// TestPPStepAllocsZero asserts the steady-state contract for the pipeline
+// path end to end: once a few warmup steps have populated the per-slot
+// pooled tapes, the boundary-transfer cells, and the batch buffers, a full
+// pipelined training step — microbatch schedule, activation/gradient
+// channel exchange, stage-group ring all-reduce, optimizer updates, loader
+// advance — performs zero heap allocations, for pure PP and for hybrid
+// DP×PP, under both schedules. The kernel pool is pinned to 1 worker (see
+// bench_step_test.go for why).
+func TestPPStepAllocsZero(t *testing.T) {
+	old := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(old)
+
+	ds := imgDSOnce()
+	hp := models.DefaultImageHParams()
+	for _, cfg := range []struct {
+		stages, workers int
+		sched           pipeline.Schedule
+	}{
+		{4, 1, pipeline.GPipe},
+		{4, 1, pipeline.OneFOneB},
+		{2, 2, pipeline.GPipe},
+		{2, 2, pipeline.OneFOneB},
+	} {
+		var reps []*models.ImageClassification
+		eng, err := pipeline.New(pipeline.Config{
+			Stages: cfg.stages, Workers: cfg.workers, Microbatches: 4,
+			Schedule: cfg.sched, GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN,
+			Seed: 1, DropLast: true,
+		}, func(worker int) []pipeline.StageReplica {
+			m := models.NewImageClassification(ds, hp, 1)
+			reps = append(reps, m)
+			parts, err := m.PipelineStages(cfg.stages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pipeline.Wrap(parts)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetLRSchedule(reps[0].Sched)
+		for i := 0; i < 6; i++ {
+			eng.StepNext()
+		}
+		if n := testing.AllocsPerRun(10, func() { eng.StepNext() }); n != 0 {
+			t.Errorf("S=%d K=%d %s: warm pipeline step allocates %v per step, want 0",
+				cfg.stages, cfg.workers, cfg.sched, n)
+		}
+		eng.Close()
+	}
+}

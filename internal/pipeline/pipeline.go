@@ -1,0 +1,687 @@
+// Package pipeline implements a real — not analytic — pipeline-parallel
+// training engine, the model-parallel scale axis the paper's companions
+// ("Scale MLPerf-0.6 models on Google TPU-v3 Pods", "Exploring the Limits
+// of Concurrency in ML Training on Google TPUs") use once data parallelism
+// alone stops scaling (§5, Figures 4–5). A layered model is split into S
+// contiguous stages (cost-balanced cuts at block boundaries; see the
+// partitioners in internal/models); each global minibatch is split into M
+// microbatches that flow through the stage goroutines, which exchange
+// boundary activations and activation-gradients over channels. Two
+// microbatch schedules are implemented, selected by Config.Schedule:
+//
+//	GPipe (fill-drain)                    1F1B (one-forward-one-backward)
+//	S0 F0 F1 F2 F3 ·· ·· ·· B3 B2 B1 B0   S0 F0 F1 F2 B0 F3 B1 B2 B3
+//	S1 ·· F0 F1 F2 F3 ·· B3 B2 B1 B0 ··   S1 ·· F0 F1 B0 F2 B1 F3 B2 B3
+//	S2 ·· ·· F0 F1 F2 F3 B3 B2 B1 B0 ··   S2 ·· ·· F0 B0 F1 B1 F2 B2 F3 B3
+//
+// (Fj/Bj = forward/backward of microbatch j; time flows right. GPipe runs
+// every forward before any backward, keeping all M microbatches live; 1F1B
+// drains backwards as soon as the pipeline is full, bounding live
+// microbatches per stage at S−s while filling the same (S−1)/M bubble.)
+//
+// # Determinism
+//
+// Both schedules are bit-identical to the serial microbatch baseline — the
+// same oracle discipline as internal/dist. The unit of gradient reduction
+// is the microbatch: each stage computes every owned microbatch's gradient
+// into its own row (per-microbatch forward/backward is the same op
+// sequence as the unsplit model, because stage boundaries are numerically
+// transparent), and rows are summed in ascending microbatch order
+// regardless of the schedule's backward execution order. Runs sharing
+// seed, global batch, and Microbatches therefore produce bit-identical
+// parameters for ANY (Stages, Schedule, Workers) combination — the grid
+// the engine's tests assert against internal/dist's serial baseline.
+//
+// # Hybrid DP×PP
+//
+// Config.Workers replicates every stage K ways: replica k owns the
+// contiguous microbatches [k·M/K, (k+1)·M/K), runs its own pipeline over
+// them, and the K replicas of each stage then sum all M gradient rows with
+// the chunked ring all-reduce shared with internal/dist (dist.Ring) — S
+// concurrent stage-group rings over disjoint parameter shards, each 1/S
+// the payload of pure data parallelism.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/autograd"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Schedule selects the microbatch execution order.
+type Schedule string
+
+const (
+	// GPipe is the fill-drain schedule: all forwards, then all backwards.
+	GPipe Schedule = "gpipe"
+	// OneFOneB is the 1F1B schedule: after a warmup of S−1−s forwards,
+	// stage s alternates one forward with one backward, bounding in-flight
+	// activation memory per stage.
+	OneFOneB Schedule = "1f1b"
+)
+
+// Stage is one contiguous model segment owned by one pipeline stage.
+// internal/models workloads implement it structurally (no import needed)
+// via their PipelineStages partitioners.
+type Stage interface {
+	// Params returns the stage's trainable parameter shard in a stable
+	// order (identical across replicas built from the same factory+seed).
+	Params() []*autograd.Param
+	// Forward runs the stage over one microbatch on the given tape. slot
+	// identifies the in-flight microbatch (0..M/K−1) so implementations
+	// can keep per-slot input buffers alive until the backward pass. The
+	// first stage receives in == nil and assembles the microbatch from
+	// idx; later stages receive the upstream boundary activations as
+	// differentiable leaves. The last stage returns exactly one output:
+	// the scalar microbatch mean loss. All stochasticity must flow
+	// through rng (derived from (seed, step, microbatch), the dist
+	// discipline). The returned slice must stay valid until the next
+	// Forward call with the same slot.
+	Forward(tape *autograd.Tape, slot int, idx []int, rng *tensor.RNG, in []*autograd.Var) []*autograd.Var
+}
+
+// StageReplica couples one stage's segment with its optimizer. Optimizers
+// must be elementwise (SGD/Adam/LARS are) so per-stage updates compose to
+// the serial full-model update.
+type StageReplica struct {
+	Stage Stage
+	Opt   opt.Optimizer
+}
+
+// StageWithOpt is a Stage that carries its own optimizer — what the
+// internal/models partitioners return.
+type StageWithOpt interface {
+	Stage
+	Optimizer() opt.Optimizer
+}
+
+// Wrap converts a partitioner's stage slice into engine stage replicas
+// (the factory return value), pairing each stage with the optimizer it
+// carries.
+func Wrap[T StageWithOpt](parts []T) []StageReplica {
+	out := make([]StageReplica, len(parts))
+	for i, p := range parts {
+		out[i] = StageReplica{Stage: p, Opt: p.Optimizer()}
+	}
+	return out
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Stages is S, the pipeline depth (>= 1).
+	Stages int
+	// Workers is K, the data-parallel replica count per stage (>= 1);
+	// K > 1 gives hybrid DP×PP.
+	Workers int
+	// Microbatches is M, the number of microbatches per global minibatch
+	// and the fixed gradient-reduction granularity. It must be a positive
+	// multiple of Workers and at most GlobalBatch. 0 selects
+	// Workers·min(Stages, GlobalBatch/Workers) — reasonable for that
+	// shape, but cross-configuration bit-identity requires pinning
+	// Microbatches to one value for every run being compared.
+	Microbatches int
+	// Schedule picks the microbatch order; empty selects GPipe. It never
+	// affects results, only the activation-liveness profile.
+	Schedule Schedule
+	// GlobalBatch is the per-step example count.
+	GlobalBatch int
+	// DatasetN is the number of training examples the loader shuffles.
+	DatasetN int
+	// DropLast forwards to the loader.
+	DropLast bool
+	// Seed drives epoch shuffling and per-(step, microbatch) RNG streams
+	// (identical derivations to internal/dist, so the serial dist engine
+	// is this engine's oracle).
+	Seed uint64
+	// Chunks is the stage-group ring all-reduce chunk count; 0 selects
+	// Workers. It never affects results.
+	Chunks int
+	// LR, when non-nil, sets every stage optimizer's learning rate from
+	// the global step before each update.
+	LR opt.Schedule
+	// Arena, when non-nil, is the shared buffer pool the engine draws its
+	// steady-state float buffers from (and returns them to on Close).
+	Arena *arena.Arena
+}
+
+// Stats counts the engine's communication and compute activity.
+type Stats struct {
+	// Steps is the number of optimizer steps taken.
+	Steps int
+	// RingMessages / RingBytes count the stage-group gradient all-reduce
+	// traffic (all S rings).
+	RingMessages int
+	RingBytes    int
+	// ActivationSends / ActivationBytes count boundary tensor transfers
+	// between adjacent stages (forward activations + backward gradients).
+	ActivationSends int
+	ActivationBytes int
+	// StepTime is cumulative wall time spent inside Step.
+	StepTime time.Duration
+}
+
+// boundary is the per-(worker, stage-gap, slot) transfer cell: the sender
+// publishes tensor pointers, then signals the slot index over the
+// corresponding channel (the send happens-before the receive, making the
+// writes visible). Pointers only — the tensors themselves stay owned by
+// the producing tape until its next-step Reset, which the step barrier
+// orders after every consumer is done.
+type boundary struct {
+	vals  []*tensor.Tensor
+	grads []*tensor.Tensor
+}
+
+// runtime is one (stage, worker) execution context: a persistent goroutine
+// with per-slot pooled tapes over a private arena free list.
+type runtime struct {
+	s, k   int
+	rep    StageReplica
+	params []*autograd.Param
+
+	local *arena.Local
+	tapes []*autograd.Tape // per in-flight slot
+	rng   tensor.RNG
+
+	ins  [][]*autograd.Var // per-slot leaf lists (reused backing arrays)
+	outs [][]*autograd.Var // per-slot stage outputs (stage-owned slices)
+
+	sends, bytes int // cumulative activation-transfer accounting
+
+	startCh chan struct{}
+}
+
+// Engine is a pipeline-parallel (optionally hybrid data-parallel) trainer.
+type Engine struct {
+	cfg     Config
+	S, K, M int
+	mLocal  int
+
+	rts [][]*runtime // [k][s]
+
+	flatLen []int         // per-stage flattened gradient length
+	gbuf    [][][]float64 // [s][m]: per-microbatch gradient rows
+	agg     [][][]float64 // [s][k]: per-replica aggregates
+	rings   []*dist.Ring  // per-stage group collective
+	losses  []float64     // per-microbatch weighted losses
+
+	fwdCh [][]chan int   // [k][gap]: forward slot signals across gap s→s+1
+	bwdCh [][]chan int   // [k][gap]: backward slot signals across gap s+1→s
+	xfer  [][][]boundary // [k][gap][slot]
+
+	loader *data.Loader
+	epoch  int
+	step   int
+
+	shards [][]int
+	invB   float64
+
+	buffers *arena.Arena
+	stepWG  sync.WaitGroup
+	closed  bool
+
+	stats Stats
+}
+
+// New builds an engine. factory is called sequentially for worker
+// 0..Workers-1 and must return the same number of stages each time, with
+// bit-identical initial parameters across workers (build the same model
+// from the same seed and partition it identically).
+func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
+	if cfg.Stages < 1 {
+		return nil, fmt.Errorf("pipeline: Stages %d < 1", cfg.Stages)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("pipeline: Workers %d < 1", cfg.Workers)
+	}
+	if cfg.GlobalBatch < 1 {
+		return nil, fmt.Errorf("pipeline: GlobalBatch %d < 1", cfg.GlobalBatch)
+	}
+	if cfg.DatasetN < 1 {
+		return nil, fmt.Errorf("pipeline: DatasetN %d < 1", cfg.DatasetN)
+	}
+	if cfg.DropLast && cfg.GlobalBatch > cfg.DatasetN {
+		return nil, fmt.Errorf("pipeline: DropLast with GlobalBatch %d > DatasetN %d yields zero steps per epoch", cfg.GlobalBatch, cfg.DatasetN)
+	}
+	if cfg.Chunks < 0 {
+		return nil, fmt.Errorf("pipeline: Chunks %d < 0 (0 selects Workers)", cfg.Chunks)
+	}
+	if cfg.Microbatches < 0 {
+		return nil, fmt.Errorf("pipeline: Microbatches %d < 0 (0 selects a default)", cfg.Microbatches)
+	}
+	if cfg.Microbatches == 0 {
+		per := cfg.GlobalBatch / cfg.Workers
+		if per > cfg.Stages {
+			per = cfg.Stages
+		}
+		if per < 1 {
+			per = 1
+		}
+		cfg.Microbatches = cfg.Workers * per
+	}
+	if cfg.Microbatches%cfg.Workers != 0 {
+		return nil, fmt.Errorf("pipeline: Microbatches %d must be a positive multiple of Workers %d", cfg.Microbatches, cfg.Workers)
+	}
+	if cfg.Microbatches > cfg.GlobalBatch {
+		return nil, fmt.Errorf("pipeline: Microbatches %d > GlobalBatch %d leaves permanently empty microbatches", cfg.Microbatches, cfg.GlobalBatch)
+	}
+	switch cfg.Schedule {
+	case "":
+		cfg.Schedule = GPipe
+	case GPipe, OneFOneB:
+	default:
+		return nil, fmt.Errorf("pipeline: unknown schedule %q (want %q or %q)", cfg.Schedule, GPipe, OneFOneB)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: nil stage factory")
+	}
+
+	e := &Engine{
+		cfg: cfg,
+		S:   cfg.Stages, K: cfg.Workers, M: cfg.Microbatches,
+		mLocal: cfg.Microbatches / cfg.Workers,
+	}
+	e.buffers = cfg.Arena
+	if e.buffers == nil {
+		e.buffers = arena.New()
+	}
+
+	e.rts = make([][]*runtime, e.K)
+	for k := 0; k < e.K; k++ {
+		reps := factory(k)
+		if len(reps) != e.S {
+			return nil, fmt.Errorf("pipeline: factory returned %d stages for worker %d, want %d", len(reps), k, e.S)
+		}
+		e.rts[k] = make([]*runtime, e.S)
+		for s, rep := range reps {
+			if rep.Stage == nil || rep.Opt == nil {
+				return nil, fmt.Errorf("pipeline: factory returned incomplete stage %d for worker %d", s, k)
+			}
+			rt := &runtime{s: s, k: k, rep: rep, params: rep.Stage.Params()}
+			rt.local = e.buffers.NewLocal()
+			rt.tapes = make([]*autograd.Tape, e.mLocal)
+			for j := range rt.tapes {
+				rt.tapes[j] = autograd.NewTapeIn(rt.local)
+			}
+			rt.ins = make([][]*autograd.Var, e.mLocal)
+			rt.outs = make([][]*autograd.Var, e.mLocal)
+			e.rts[k][s] = rt
+		}
+	}
+
+	e.flatLen = make([]int, e.S)
+	for s := 0; s < e.S; s++ {
+		e.flatLen[s] = autograd.FlatSize(e.rts[0][s].params)
+		if e.flatLen[s] == 0 {
+			return nil, fmt.Errorf("pipeline: stage %d has no parameters", s)
+		}
+		for k := 1; k < e.K; k++ {
+			if !autograd.ParamsEqual(e.rts[k][s].params, e.rts[0][s].params) {
+				return nil, fmt.Errorf("pipeline: worker %d stage %d parameters differ from worker 0 (factory must build identical replicas)", k, s)
+			}
+		}
+	}
+
+	e.loader = data.NewLoader(cfg.DatasetN, cfg.GlobalBatch, dist.LoaderRNG(cfg.Seed))
+	e.loader.DropLast = cfg.DropLast
+
+	e.gbuf = make([][][]float64, e.S)
+	e.agg = make([][][]float64, e.S)
+	e.rings = make([]*dist.Ring, e.S)
+	for s := 0; s < e.S; s++ {
+		e.gbuf[s] = make([][]float64, e.M)
+		for m := range e.gbuf[s] {
+			e.gbuf[s][m] = e.buffers.Get(e.flatLen[s])
+		}
+		e.agg[s] = make([][]float64, e.K)
+		for k := range e.agg[s] {
+			e.agg[s][k] = e.buffers.Get(e.flatLen[s])
+		}
+		e.rings[s] = dist.NewRing(e.K, cfg.Chunks, e.flatLen[s], e.buffers)
+	}
+	e.losses = make([]float64, e.M)
+	e.shards = make([][]int, e.M)
+
+	if e.S > 1 {
+		e.fwdCh = make([][]chan int, e.K)
+		e.bwdCh = make([][]chan int, e.K)
+		e.xfer = make([][][]boundary, e.K)
+		for k := 0; k < e.K; k++ {
+			e.fwdCh[k] = make([]chan int, e.S-1)
+			e.bwdCh[k] = make([]chan int, e.S-1)
+			e.xfer[k] = make([][]boundary, e.S-1)
+			for g := 0; g < e.S-1; g++ {
+				e.fwdCh[k][g] = make(chan int, e.mLocal)
+				e.bwdCh[k][g] = make(chan int, e.mLocal)
+				e.xfer[k][g] = make([]boundary, e.mLocal)
+			}
+		}
+	}
+
+	// Persistent runtime goroutines (spawning per step would put S·K
+	// goroutine launches on the hot path). The fully serial S=K=1 shape
+	// runs inline in Step instead.
+	if e.S*e.K > 1 {
+		for k := 0; k < e.K; k++ {
+			for s := 0; s < e.S; s++ {
+				rt := e.rts[k][s]
+				rt.startCh = make(chan struct{}, 1)
+				go func(rt *runtime) {
+					for range rt.startCh {
+						e.runStage(rt)
+						e.stepWG.Done()
+					}
+				}(rt)
+			}
+		}
+	}
+	return e, nil
+}
+
+// Close stops the persistent stage goroutines and returns the engine's
+// buffers (gradient rows, aggregates, ring chunks, tape working sets) to
+// its arena. Idempotent; the engine must not be stepped afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, row := range e.rts {
+		for _, rt := range row {
+			if rt.startCh != nil {
+				close(rt.startCh)
+			}
+		}
+	}
+	for s := 0; s < e.S; s++ {
+		for _, buf := range e.gbuf[s] {
+			e.buffers.Put(buf)
+		}
+		for _, buf := range e.agg[s] {
+			e.buffers.Put(buf)
+		}
+		e.rings[s].Close()
+	}
+	e.gbuf, e.agg = nil, nil
+	for _, row := range e.rts {
+		for _, rt := range row {
+			for _, tape := range rt.tapes {
+				tape.ReleaseBuffers()
+			}
+			rt.local.Flush()
+		}
+	}
+}
+
+// Stages returns S. Workers returns K. Microbatches returns M.
+func (e *Engine) Stages() int       { return e.S }
+func (e *Engine) Workers() int      { return e.K }
+func (e *Engine) Microbatches() int { return e.M }
+
+// Params returns worker 0's full parameter list: the concatenation of its
+// stage shards in stage order.
+func (e *Engine) Params() []*autograd.Param {
+	var ps []*autograd.Param
+	for s := 0; s < e.S; s++ {
+		ps = append(ps, e.rts[0][s].params...)
+	}
+	return ps
+}
+
+// FlatSize returns the total flattened gradient length across stages.
+func (e *Engine) FlatSize() int {
+	n := 0
+	for _, l := range e.flatLen {
+		n += l
+	}
+	return n
+}
+
+// Steps returns the number of optimizer steps taken.
+func (e *Engine) Steps() int { return e.step }
+
+// Epoch returns the number of completed training epochs.
+func (e *Engine) Epoch() int { return e.epoch }
+
+// StepsPerEpoch returns the engine loader's steps per epoch.
+func (e *Engine) StepsPerEpoch() int { return e.loader.StepsPerEpoch() }
+
+// SetLRSchedule installs (or replaces) the learning-rate schedule applied
+// to every stage optimizer before each update.
+func (e *Engine) SetLRSchedule(s opt.Schedule) { e.cfg.LR = s }
+
+// Stats returns cumulative activity counters.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	for _, row := range e.rts {
+		for _, rt := range row {
+			st.ActivationSends += rt.sends
+			st.ActivationBytes += rt.bytes
+		}
+	}
+	return st
+}
+
+// InSync reports whether all stage replicas hold bit-identical parameters
+// across workers (the hybrid DP invariant).
+func (e *Engine) InSync() bool {
+	for s := 0; s < e.S; s++ {
+		for k := 1; k < e.K; k++ {
+			if !autograd.ParamsEqual(e.rts[k][s].params, e.rts[0][s].params) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StepNext draws the next global minibatch from the engine's loader and
+// executes one pipelined step, returning the global mean loss.
+func (e *Engine) StepNext() float64 {
+	idx, _ := e.loader.Next()
+	return e.Step(idx)
+}
+
+// TrainEpoch runs one full pass over the training data and returns the
+// mean per-step loss.
+func (e *Engine) TrainEpoch() float64 {
+	steps := e.loader.StepsPerEpoch()
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		total += e.StepNext()
+	}
+	e.epoch++
+	return total / float64(steps)
+}
+
+// Step executes one pipelined (and, at K > 1, hybrid data-parallel)
+// training step over the given global minibatch indices and returns the
+// global mean loss (microbatch-size-weighted, equal to the mean over all
+// examples). Ragged batches are supported: microbatches left empty by a
+// short final batch are skipped symmetrically by every stage.
+func (e *Engine) Step(idx []int) float64 {
+	start := time.Now()
+	for m := range e.shards {
+		e.shards[m] = data.Shard(idx, m, e.M)
+	}
+	e.invB = 1 / float64(len(idx))
+	for m := range e.losses {
+		e.losses[m] = 0
+	}
+
+	if e.S*e.K == 1 {
+		e.runStage(e.rts[0][0])
+	} else {
+		// Wake every (stage, worker) runtime and wait for the step
+		// barrier. The channel sends happen-before each runtime's
+		// iteration (shard/invB visibility); the WaitGroup orders runtime
+		// writes before the loss reduction below.
+		e.stepWG.Add(e.S * e.K)
+		for _, row := range e.rts {
+			for _, rt := range row {
+				rt.startCh <- struct{}{}
+			}
+		}
+		e.stepWG.Wait()
+		for s := 0; s < e.S; s++ {
+			e.stats.RingMessages += e.rings[s].RoundMessages()
+			e.stats.RingBytes += e.rings[s].RoundBytes()
+		}
+	}
+
+	e.step++
+	e.stats.Steps++
+	e.stats.StepTime += time.Since(start)
+
+	// Fixed ascending-microbatch loss reduction, schedule-invariant.
+	loss := 0.0
+	for m := 0; m < e.M; m++ {
+		loss += e.losses[m]
+	}
+	return loss
+}
+
+// runStage is one runtime's contribution to a step: the microbatch
+// schedule over its owned slots, then the stage group's ring all-reduce
+// and the local optimizer update.
+func (e *Engine) runStage(rt *runtime) {
+	mL := e.mLocal
+	switch e.cfg.Schedule {
+	case OneFOneB:
+		warm := e.S - 1 - rt.s
+		if warm > mL {
+			warm = mL
+		}
+		for j := 0; j < warm; j++ {
+			e.forward(rt, j)
+		}
+		for j := warm; j < mL; j++ {
+			e.forward(rt, j)
+			e.backward(rt, j-warm)
+		}
+		for j := mL - warm; j < mL; j++ {
+			e.backward(rt, j)
+		}
+	default: // GPipe fill-drain
+		for j := 0; j < mL; j++ {
+			e.forward(rt, j)
+		}
+		for j := mL - 1; j >= 0; j-- {
+			e.backward(rt, j)
+		}
+	}
+
+	// Hybrid DP leg: sum all M gradient rows of this stage's shard in
+	// ascending microbatch order across the K replicas, then apply the
+	// identical aggregated update on every replica.
+	mlo, mhi := rt.k*e.M/e.K, (rt.k+1)*e.M/e.K
+	agg := e.agg[rt.s][rt.k]
+	e.rings[rt.s].AllReduce(rt.k, e.gbuf[rt.s], mlo, mhi, agg)
+	autograd.ScatterGrads(agg, rt.params)
+	opt.ApplySchedule(rt.rep.Opt, e.cfg.LR, e.step)
+	rt.rep.Opt.Step()
+}
+
+// forward runs the stage's forward pass for local slot j, receiving the
+// upstream boundary (stages > 0) and publishing this stage's boundary
+// downstream (stages < S−1).
+func (e *Engine) forward(rt *runtime, j int) {
+	m := rt.k*e.M/e.K + j
+	shard := e.shards[m]
+	if len(shard) == 0 {
+		// Skipped symmetrically by every stage; this stage still owns the
+		// microbatch's gradient row, which must read as zero.
+		row := e.gbuf[rt.s][m]
+		for i := range row {
+			row[i] = 0
+		}
+		return
+	}
+	tape := rt.tapes[j]
+	tape.Reset()
+	dist.MicroshardRNGInto(&rt.rng, e.cfg.Seed, e.step, m)
+
+	var in []*autograd.Var
+	if rt.s > 0 {
+		slot := <-e.fwdCh[rt.k][rt.s-1]
+		if slot != j {
+			panic(fmt.Sprintf("pipeline: stage %d worker %d expected forward slot %d, got %d", rt.s, rt.k, j, slot))
+		}
+		bx := &e.xfer[rt.k][rt.s-1][j]
+		in = rt.ins[j][:0]
+		for _, v := range bx.vals {
+			in = append(in, tape.LeafOf(v))
+		}
+		rt.ins[j] = in
+	}
+
+	outs := rt.rep.Stage.Forward(tape, j, shard, &rt.rng, in)
+	rt.outs[j] = outs
+
+	if rt.s < e.S-1 {
+		bx := &e.xfer[rt.k][rt.s][j]
+		bx.vals = bx.vals[:0]
+		for _, o := range outs {
+			bx.vals = append(bx.vals, o.Value)
+			rt.bytes += o.Value.Size() * 8
+		}
+		rt.sends++
+		e.fwdCh[rt.k][rt.s] <- j
+	}
+}
+
+// backward runs the stage's backward pass for local slot j: seed the
+// output gradients (from downstream, or the unit loss seed on the last
+// stage), replay the slot's tape, send the input-boundary gradients
+// upstream, and flatten this microbatch's parameter gradient into its
+// reduction row. Seeding strictly before replay preserves the serial
+// elementwise accumulation order for boundaries that are both forwarded
+// and consumed locally (e.g. the Transformer's attention memory).
+func (e *Engine) backward(rt *runtime, j int) {
+	m := rt.k*e.M/e.K + j
+	shard := e.shards[m]
+	if len(shard) == 0 {
+		return // row zeroed at forward time
+	}
+	tape := rt.tapes[j]
+	outs := rt.outs[j]
+	for _, p := range rt.params {
+		p.ZeroGrad()
+	}
+
+	wgt := float64(len(shard)) * e.invB
+	if rt.s == e.S-1 {
+		loss := outs[0]
+		e.losses[m] = loss.Scalar() * wgt
+		tape.Backward(loss)
+	} else {
+		slot := <-e.bwdCh[rt.k][rt.s]
+		if slot != j {
+			panic(fmt.Sprintf("pipeline: stage %d worker %d expected backward slot %d, got %d", rt.s, rt.k, j, slot))
+		}
+		bx := &e.xfer[rt.k][rt.s][j]
+		for i, o := range outs {
+			o.Grad.AddInPlace(bx.grads[i])
+		}
+		tape.BackwardSeeded()
+	}
+
+	if rt.s > 0 {
+		bx := &e.xfer[rt.k][rt.s-1][j]
+		bx.grads = bx.grads[:0]
+		for _, v := range rt.ins[j] {
+			bx.grads = append(bx.grads, v.Grad)
+			rt.bytes += v.Grad.Size() * 8
+		}
+		rt.sends++
+		e.bwdCh[rt.k][rt.s-1] <- j
+	}
+
+	autograd.FlattenGradsScaled(e.gbuf[rt.s][m], rt.params, wgt)
+}

@@ -1,0 +1,387 @@
+package pipeline_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+)
+
+var imgDSOnce = sync.OnceValue(func() *datasets.ImageDataset {
+	return datasets.GenerateImages(datasets.DefaultImageConfig())
+})
+
+var mtDSOnce = sync.OnceValue(func() *datasets.MTDataset {
+	return datasets.GenerateMT(datasets.DefaultMTConfig())
+})
+
+// newImagePipeline builds a hybrid DP×PP ResNet engine.
+func newImagePipeline(t testing.TB, stages, workers, microbatches, batch int, sched pipeline.Schedule, seed uint64) (*pipeline.Engine, []*models.ImageClassification) {
+	t.Helper()
+	ds := imgDSOnce()
+	hp := models.DefaultImageHParams()
+	var reps []*models.ImageClassification
+	eng, err := pipeline.New(pipeline.Config{
+		Stages: stages, Workers: workers, Microbatches: microbatches,
+		Schedule: sched, GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
+	}, func(worker int) []pipeline.StageReplica {
+		m := models.NewImageClassification(ds, hp, seed)
+		reps = append(reps, m)
+		parts, err := m.PipelineStages(stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pipeline.Wrap(parts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetLRSchedule(reps[0].Sched)
+	return eng, reps
+}
+
+// imageSerialBaseline trains the SAME workload on the dist engine at one
+// worker with Microshards = microbatches — the serial microbatch oracle
+// both engines share (dist's own tests anchor it to a plain hand-written
+// loop).
+func imageSerialBaseline(t testing.TB, microbatches, batch, steps int, seed uint64) []float64 {
+	t.Helper()
+	ds := imgDSOnce()
+	hp := models.DefaultImageHParams()
+	var reps []*models.ImageClassification
+	eng, err := dist.New(dist.Config{
+		Workers: 1, Microshards: microbatches,
+		GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
+	}, func(worker int) dist.Replica {
+		m := models.NewImageClassification(ds, hp, seed)
+		reps = append(reps, m)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.SetSchedule(reps[0].Sched)
+	for s := 0; s < steps; s++ {
+		eng.StepNext()
+	}
+	return flatParamValues(eng.Params())
+}
+
+func flatParamValues(params []*autograd.Param) []float64 {
+	var out []float64
+	for _, p := range params {
+		out = append(out, p.Value.Data...)
+	}
+	return out
+}
+
+// paramsByName indexes parameter values by name: the pipeline engine's
+// Params() order is stage-concatenation order, which can differ from the
+// serial model's list order, so cross-engine comparison matches by name.
+func paramsByName(params []*autograd.Param) map[string][]float64 {
+	out := make(map[string][]float64, len(params))
+	for _, p := range params {
+		out[p.Name] = p.Value.Data
+	}
+	return out
+}
+
+func requireSameParams(t *testing.T, label string, got []*autograd.Param, want map[string][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d params, want %d", label, len(got), len(want))
+	}
+	for _, p := range got {
+		ref, ok := want[p.Name]
+		if !ok {
+			t.Fatalf("%s: unexpected param %q", label, p.Name)
+		}
+		for i, v := range p.Value.Data {
+			if v != ref[i] {
+				t.Fatalf("%s: param %q element %d = %g, serial %g (not bit-identical)", label, p.Name, i, v, ref[i])
+			}
+		}
+	}
+}
+
+// The headline property: pipeline-parallel (and hybrid DP×PP) ResNet
+// training is bit-identical to the serial microbatch baseline across the
+// full (stages, schedule, workers) grid at fixed Microbatches.
+func TestPPImageBitIdenticalGrid(t *testing.T) {
+	const (
+		microbatches = 8
+		batch        = 32
+		seed         = 7
+		steps        = 3
+	)
+	serial := imageSerialBaseline(t, microbatches, batch, steps, seed)
+
+	ds := imgDSOnce()
+	hp := models.DefaultImageHParams()
+	ref := func() map[string][]float64 {
+		m := models.NewImageClassification(ds, hp, seed)
+		byName := make(map[string][]float64)
+		o := 0
+		for _, p := range m.Params() {
+			byName[p.Name] = serial[o : o+p.Value.Size()]
+			o += p.Value.Size()
+		}
+		return byName
+	}()
+
+	for _, stages := range []int{1, 2, 4} {
+		for _, sched := range []pipeline.Schedule{pipeline.GPipe, pipeline.OneFOneB} {
+			for _, workers := range []int{1, 2} {
+				eng, _ := newImagePipeline(t, stages, workers, microbatches, batch, sched, seed)
+				for s := 0; s < steps; s++ {
+					eng.StepNext()
+				}
+				label := string(sched)
+				if !eng.InSync() {
+					t.Fatalf("S=%d %s K=%d: stage replicas out of sync", stages, label, workers)
+				}
+				requireSameParams(t, label, eng.Params(), ref)
+				eng.Close()
+			}
+		}
+	}
+}
+
+// The Transformer grid: encoder-decoder staging with tied embeddings on
+// stage 0, pass-through decoder embedding and attention memory across
+// stage boundaries.
+func TestPPTransformerBitIdenticalGrid(t *testing.T) {
+	const (
+		microbatches = 4
+		batch        = 16
+		seed         = 5
+		steps        = 2
+	)
+	ds := mtDSOnce()
+	hp := models.DefaultTransformerHParams()
+
+	// Serial microbatch oracle on the dist engine (Translation gained
+	// Params/MicrobatchLoss in this change, so the transformer benchmark
+	// is now data-parallel-capable too).
+	var serialReps []*models.Translation
+	serialEng, err := dist.New(dist.Config{
+		Workers: 1, Microshards: microbatches,
+		GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
+	}, func(worker int) dist.Replica {
+		m := models.NewTranslation(ds, hp, seed)
+		serialReps = append(serialReps, m)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serialEng.Close()
+	serialEng.SetSchedule(serialReps[0].Sched)
+	var serialLosses []float64
+	for s := 0; s < steps; s++ {
+		serialLosses = append(serialLosses, serialEng.StepNext())
+	}
+	ref := paramsByName(serialEng.Params())
+
+	for _, stages := range []int{1, 2, 4} {
+		for _, sched := range []pipeline.Schedule{pipeline.GPipe, pipeline.OneFOneB} {
+			for _, workers := range []int{1, 2} {
+				var reps []*models.Translation
+				eng, err := pipeline.New(pipeline.Config{
+					Stages: stages, Workers: workers, Microbatches: microbatches,
+					Schedule: sched, GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
+				}, func(worker int) []pipeline.StageReplica {
+					m := models.NewTranslation(ds, hp, seed)
+					reps = append(reps, m)
+					parts, err := m.PipelineStages(stages)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return pipeline.Wrap(parts)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.SetLRSchedule(reps[0].Sched)
+				for s := 0; s < steps; s++ {
+					if loss := eng.StepNext(); loss != serialLosses[s] {
+						t.Fatalf("S=%d %s K=%d: step %d loss %g, serial %g", stages, sched, workers, s, loss, serialLosses[s])
+					}
+				}
+				if !eng.InSync() {
+					t.Fatalf("S=%d %s K=%d: stage replicas out of sync", stages, sched, workers)
+				}
+				requireSameParams(t, string(sched), eng.Params(), ref)
+				eng.Close()
+			}
+		}
+	}
+}
+
+// Ragged configurations: a batch the microbatch count does not divide, a
+// short final batch that leaves some microbatches empty, and an epoch
+// boundary in the middle of the run — all must stay bit-identical to the
+// serial baseline.
+func TestPPRaggedBatchesBitIdentical(t *testing.T) {
+	const (
+		microbatches = 16
+		batch        = 30 // not divisible by 16; final batch of 10 leaves empties
+		datasetN     = 100
+		seed         = 11
+		steps        = 5 // crosses the 4-step epoch boundary
+	)
+	ds := imgDSOnce()
+	hp := models.DefaultImageHParams()
+
+	var serialReps []*models.ImageClassification
+	serialEng, err := dist.New(dist.Config{
+		Workers: 1, Microshards: microbatches,
+		GlobalBatch: batch, DatasetN: datasetN, Seed: seed,
+	}, func(worker int) dist.Replica {
+		m := models.NewImageClassification(ds, hp, seed)
+		serialReps = append(serialReps, m)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serialEng.Close()
+	serialEng.SetSchedule(serialReps[0].Sched)
+	var serialLosses []float64
+	for s := 0; s < steps; s++ {
+		serialLosses = append(serialLosses, serialEng.StepNext())
+	}
+	ref := paramsByName(serialEng.Params())
+
+	for _, sched := range []pipeline.Schedule{pipeline.GPipe, pipeline.OneFOneB} {
+		var reps []*models.ImageClassification
+		eng, err := pipeline.New(pipeline.Config{
+			Stages: 2, Workers: 2, Microbatches: microbatches,
+			Schedule: sched, GlobalBatch: batch, DatasetN: datasetN, Seed: seed,
+		}, func(worker int) []pipeline.StageReplica {
+			m := models.NewImageClassification(ds, hp, seed)
+			reps = append(reps, m)
+			parts, err := m.PipelineStages(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pipeline.Wrap(parts)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetLRSchedule(reps[0].Sched)
+		for s := 0; s < steps; s++ {
+			if loss := eng.StepNext(); loss != serialLosses[s] {
+				t.Fatalf("%s: step %d loss %g, serial %g", sched, s, loss, serialLosses[s])
+			}
+		}
+		requireSameParams(t, string(sched), eng.Params(), ref)
+		eng.Close()
+	}
+}
+
+// The loss reported by the engine equals the serial engine's loss stream,
+// and schedule/stage/worker knobs never change it.
+func TestPPLossMatchesSerial(t *testing.T) {
+	const (
+		microbatches = 8
+		batch        = 32
+		seed         = 3
+		steps        = 3
+	)
+	run := func(stages, workers int, sched pipeline.Schedule) []float64 {
+		eng, _ := newImagePipeline(t, stages, workers, microbatches, batch, sched, seed)
+		defer eng.Close()
+		var out []float64
+		for s := 0; s < steps; s++ {
+			out = append(out, eng.StepNext())
+		}
+		return out
+	}
+	ref := run(1, 1, pipeline.GPipe)
+	for _, cfg := range []struct {
+		s, k  int
+		sched pipeline.Schedule
+	}{{4, 1, pipeline.GPipe}, {2, 2, pipeline.OneFOneB}, {4, 2, pipeline.OneFOneB}} {
+		got := run(cfg.s, cfg.k, cfg.sched)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("S=%d K=%d %s: step %d loss %g, want %g", cfg.s, cfg.k, cfg.sched, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPPEngineValidation(t *testing.T) {
+	ds := imgDSOnce()
+	hp := models.DefaultImageHParams()
+	okFactory := func(worker int) []pipeline.StageReplica {
+		m := models.NewImageClassification(ds, hp, 1)
+		parts, err := m.PipelineStages(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pipeline.Wrap(parts)
+	}
+	cases := []struct {
+		name string
+		cfg  pipeline.Config
+		fac  func(int) []pipeline.StageReplica
+	}{
+		{"zero stages", pipeline.Config{Stages: 0, Workers: 1, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"zero workers", pipeline.Config{Stages: 2, Workers: 0, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"zero batch", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 0, DatasetN: 100}, okFactory},
+		{"zero dataset", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 8, DatasetN: 0}, okFactory},
+		{"negative chunks", pipeline.Config{Stages: 2, Workers: 1, Chunks: -1, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"microbatches not multiple", pipeline.Config{Stages: 2, Workers: 2, Microbatches: 3, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"microbatches exceed batch", pipeline.Config{Stages: 2, Workers: 2, Microbatches: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"bad schedule", pipeline.Config{Stages: 2, Workers: 1, Schedule: "zigzag", GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"droplast batch over dataset", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 200, DatasetN: 100, DropLast: true}, okFactory},
+		{"nil factory", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 8, DatasetN: 100}, nil},
+		{"wrong stage count", pipeline.Config{Stages: 3, Workers: 1, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"mismatched replicas", pipeline.Config{Stages: 2, Workers: 2, GlobalBatch: 8, DatasetN: 100}, func(worker int) []pipeline.StageReplica {
+			m := models.NewImageClassification(ds, hp, uint64(worker)) // different seeds: different init
+			parts, err := m.PipelineStages(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pipeline.Wrap(parts)
+		}},
+	}
+	for _, c := range cases {
+		if _, err := pipeline.New(c.cfg, c.fac); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// Partitioner validation: more stages than splittable blocks must fail
+// with a clear error rather than producing empty stages.
+func TestPPPartitionerTooManyStages(t *testing.T) {
+	ds := imgDSOnce()
+	m := models.NewImageClassification(ds, models.DefaultImageHParams(), 1)
+	if _, err := m.PipelineStages(64); err == nil {
+		t.Fatal("expected error for more stages than blocks")
+	}
+	mt := models.NewTranslation(mtDSOnce(), models.DefaultTransformerHParams(), 1)
+	if _, err := mt.PipelineStages(64); err == nil {
+		t.Fatal("expected error for more stages than blocks")
+	}
+}
+
+// Close must stop the stage goroutines, tolerate repeated calls, and be a
+// no-op on the serial shape.
+func TestPPCloseIdempotent(t *testing.T) {
+	for _, cfg := range []struct{ s, k int }{{1, 1}, {2, 2}} {
+		eng, _ := newImagePipeline(t, cfg.s, cfg.k, 4, 32, pipeline.GPipe, 1)
+		eng.StepNext()
+		eng.Close()
+		eng.Close() // must not panic
+	}
+}
