@@ -2,7 +2,7 @@ GO ?= go
 
 BENCH_SMOKE_OUT ?= bench-smoke.out
 
-.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels pp-smoke
+.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke
 
 all: check
 
@@ -51,13 +51,14 @@ bench:
 
 # Compile-and-run-once smoke over every benchmark in the repo, then fail if
 # any steady-state step benchmark (BenchmarkStepAllocs* for serial/DP,
-# BenchmarkStepPipeline* for PP and hybrid DP×PP) reports a nonzero
-# allocs/op — the allocation-free training-step regression gate.
+# BenchmarkStepPipeline* for PP and hybrid DP×PP) or GEMM kernel benchmark
+# (BenchmarkGEMM*, incl. the naive references) reports a nonzero
+# allocs/op — the allocation-free hot-path regression gate.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > $(BENCH_SMOKE_OUT) || (cat $(BENCH_SMOKE_OUT); exit 1)
 	@cat $(BENCH_SMOKE_OUT)
-	@awk '/^BenchmarkStep(Allocs|Pipeline)/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: steady-state step allocates: " $$0; bad = 1 } } \
-		END { if (bad) exit 1; print "bench-smoke: all BenchmarkStepAllocs*/BenchmarkStepPipeline* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
+	@awk '/^Benchmark(Step(Allocs|Pipeline)|GEMM)/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: hot path allocates: " $$0; bad = 1 } } \
+		END { if (bad) exit 1; print "bench-smoke: all BenchmarkStepAllocs*/BenchmarkStepPipeline*/BenchmarkGEMM* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
 
 # Pipeline-only slice of bench-smoke: run just the pipeline step benchmarks
 # and apply the same nonzero-alloc gate (fast local check for PP changes).
@@ -70,3 +71,9 @@ pp-smoke:
 # Just the serial-vs-parallel substrate comparisons.
 bench-kernels:
 	$(GO) test -bench='MatMul|Conv2D|RunSet' -benchmem -run='^$$' .
+
+# The GEMM engine benchmarks (packed vs naive reference, GFLOP/s via
+# ReportMetric). BENCH_gemm.json holds the checked-in snapshot of these
+# numbers so future PRs have a kernel-throughput baseline to diff against.
+bench-gemm:
+	$(GO) test -bench='^BenchmarkGEMM' -benchmem -run='^$$' .

@@ -1,0 +1,143 @@
+package repro
+
+// GEMM engine benchmarks: the packed, blocked, register-tiled kernels
+// behind MatMul/MatMulTransA/MatMulTransB versus the retained naive
+// reference, at the three shape regimes the workloads exercise —
+// square (ResNet im2col, NCF at production width), tall-skinny (large
+// batch through a narrow hidden layer), and short-wide (the
+// Transformer's short-tall attention/projection shapes). Each reports
+// GFLOP/s via b.ReportMetric, so `make bench-gemm` snapshots kernel
+// throughput (BENCH_gemm.json) and trajectories stay comparable across
+// PRs.
+//
+// The kernel pool is pinned to 1 worker: these measure single-core
+// kernel quality (cache blocking + packing + register tiling), not
+// parallel scaling — and keep the timed region allocation-free, which
+// the bench-smoke awk gate asserts for every BenchmarkGEMM*.
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// benchGEMMShape times c = a·b through the public MatMulInto entry point
+// (the packed engine) and reports achieved GFLOP/s.
+func benchGEMMShape(b *testing.B, n, k, m int) {
+	b.Helper()
+	withPoolWorkers(b, 1)
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, n, k)
+	y := tensor.Randn(rng, 1, k, m)
+	c := tensor.New(n, m)
+	tensor.MatMulInto(c, x, y) // warm the pack-buffer pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(c, x, y)
+	}
+	b.StopTimer()
+	reportGFLOPS(b, n, k, m)
+}
+
+// benchGEMMNaiveShape times the same product through the retained naive
+// row kernel (the bit-identity reference), for the before/after ratio.
+func benchGEMMNaiveShape(b *testing.B, n, k, m int) {
+	b.Helper()
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, n, k)
+	y := tensor.Randn(rng, 1, k, m)
+	c := tensor.New(n, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulRows(c, x, y, 0, n)
+	}
+	b.StopTimer()
+	reportGFLOPS(b, n, k, m)
+}
+
+func reportGFLOPS(b *testing.B, n, k, m int) {
+	flops := 2 * float64(n) * float64(k) * float64(m) * float64(b.N)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(flops/s/1e9, "GFLOP/s")
+	}
+}
+
+func BenchmarkGEMMSquare512(b *testing.B)       { benchGEMMShape(b, 512, 512, 512) }
+func BenchmarkGEMMTallSkinny(b *testing.B)      { benchGEMMShape(b, 4096, 64, 64) }
+func BenchmarkGEMMShortWide(b *testing.B)       { benchGEMMShape(b, 32, 64, 2048) }
+func BenchmarkGEMMNaiveSquare512(b *testing.B)  { benchGEMMNaiveShape(b, 512, 512, 512) }
+func BenchmarkGEMMNaiveTallSkinny(b *testing.B) { benchGEMMNaiveShape(b, 4096, 64, 64) }
+func BenchmarkGEMMNaiveShortWide(b *testing.B)  { benchGEMMNaiveShape(b, 32, 64, 2048) }
+
+// --- Transformer steady-state steps (serial / DP4 / PP4) ---
+//
+// The Transformer is the workload whose short-tall GEMM shapes the 2-D
+// tile scheduler targets; these benchmarks give the README performance
+// table its translation rows. (Not part of the 0-alloc awk gate, which
+// covers BenchmarkStepAllocs*/BenchmarkStepPipeline*/BenchmarkGEMM*.)
+
+func benchStepTransformerDP(b *testing.B, workers int) {
+	withPoolWorkers(b, 1)
+	ds := datasets.GenerateMT(datasets.DefaultMTConfig())
+	hp := models.DefaultTransformerHParams()
+	eng, err := dist.New(dist.Config{
+		Workers: workers, Microshards: 8,
+		GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
+	}, func(worker int) dist.Replica {
+		m := models.NewTranslation(ds, hp, 1)
+		return dist.Replica{Model: m, Opt: m.Opt}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	for i := 0; i < stepAllocsWarmup; i++ {
+		eng.StepNext()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepNext()
+	}
+}
+
+func BenchmarkStepTransformerSerial(b *testing.B) { benchStepTransformerDP(b, 1) }
+func BenchmarkStepTransformerDP4(b *testing.B)    { benchStepTransformerDP(b, 4) }
+
+func BenchmarkStepTransformerPP4(b *testing.B) {
+	withPoolWorkers(b, 1)
+	ds := datasets.GenerateMT(datasets.DefaultMTConfig())
+	hp := models.DefaultTransformerHParams()
+	var reps []*models.Translation
+	eng, err := pipeline.New(pipeline.Config{
+		Stages: 4, Workers: 1, Microbatches: 4, Schedule: pipeline.GPipe,
+		GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
+	}, func(worker int) []pipeline.StageReplica {
+		m := models.NewTranslation(ds, hp, 1)
+		reps = append(reps, m)
+		parts, err := m.PipelineStages(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pipeline.Wrap(parts)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	eng.SetLRSchedule(reps[0].Sched)
+	for i := 0; i < stepAllocsWarmup; i++ {
+		eng.StepNext()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepNext()
+	}
+}

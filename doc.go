@@ -6,11 +6,19 @@
 // The package tree:
 //
 //	internal/core       — suite, runner, timing rules, aggregation (the paper's contribution)
-//	internal/parallel   — worker pool + sharded loops (deterministic parallel substrate)
+//	internal/parallel   — worker pool + sharded loops and 2-D tile loops
+//	                      (ForTiles: row×column output tiles, so skinny and
+//	                      short matrices keep every worker busy;
+//	                      deterministic parallel substrate)
 //	internal/arena      — size-bucketed []float64 pool with per-worker free
 //	                      lists; backs the allocation-free steady-state
-//	                      training step (0 allocs/op after warmup)
-//	internal/tensor     — dense tensors + deterministic RNG
+//	                      training step (0 allocs/op after warmup) and the
+//	                      GEMM pack buffers (GetRaw)
+//	internal/tensor     — dense tensors + deterministic RNG; blocked,
+//	                      packed, register-tiled GEMM engine (gemm.go:
+//	                      GotoBLAS-style MC×KC×NC blocking, AVX2 4×8
+//	                      micro-kernel with portable fallback,
+//	                      bit-identical to the naive reference kernels)
 //	internal/autograd   — tape-based reverse-mode autodiff (pooled, replayable
 //	                      tapes: Reset + slot reuse keep warm steps alloc-free)
 //	internal/nn         — layer library (conv, BN, LSTM, attention, ...)

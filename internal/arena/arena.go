@@ -78,6 +78,16 @@ func New() *Arena { return &Arena{} }
 // class size). n == 0 returns nil. The caller owns the buffer until it
 // passes it back via Put.
 func (a *Arena) Get(n int) []float64 {
+	return zeroed(a.GetRaw(n))
+}
+
+// GetRaw returns a slice of length n with UNSPECIFIED contents — recycled
+// buffers keep whatever the previous owner wrote. It is Get without the
+// zero fill, for callers that overwrite the whole buffer anyway (the GEMM
+// engine's pack buffers, which rewrite every element of each panel they
+// stage, padding included). Everything else about the contract matches
+// Get: the caller owns the buffer until it passes it back via Put.
+func (a *Arena) GetRaw(n int) []float64 {
 	if n == 0 {
 		return nil
 	}
@@ -99,15 +109,19 @@ func (a *Arena) Get(n int) []float64 {
 		b.free[len(b.free)-1] = nil
 		b.free = b.free[:len(b.free)-1]
 		b.mu.Unlock()
-		buf = buf[:n]
-		for i := range buf {
-			buf[i] = 0
-		}
-		return buf
+		return buf[:n]
 	}
 	b.mu.Unlock()
 	a.misses.Add(1)
 	return make([]float64, n, 1<<c)
+}
+
+// zeroed clears and returns buf — Get's zero-fill layered over GetRaw.
+func zeroed(buf []float64) []float64 {
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // Put recycles a buffer previously returned by Get. It accepts any slice
@@ -164,6 +178,12 @@ func (a *Arena) NewLocal() *Local { return &Local{parent: a} }
 // Get returns a zero-filled slice of length n, preferring the local free
 // list over the shared arena.
 func (l *Local) Get(n int) []float64 {
+	return zeroed(l.GetRaw(n))
+}
+
+// GetRaw returns a slice of length n with UNSPECIFIED contents,
+// preferring the local free list — Local's counterpart of Arena.GetRaw.
+func (l *Local) GetRaw(n int) []float64 {
 	if n == 0 {
 		return nil
 	}
@@ -172,19 +192,15 @@ func (l *Local) Get(n int) []float64 {
 	}
 	c := class(n)
 	if c > maxClass {
-		return l.parent.Get(n)
+		return l.parent.GetRaw(n)
 	}
 	if s := l.free[c]; len(s) > 0 {
 		buf := s[len(s)-1]
 		s[len(s)-1] = nil
 		l.free[c] = s[:len(s)-1]
-		buf = buf[:n]
-		for i := range buf {
-			buf[i] = 0
-		}
-		return buf
+		return buf[:n]
 	}
-	return l.parent.Get(n)
+	return l.parent.GetRaw(n)
 }
 
 // Put recycles a buffer into the local free list, spilling to the parent

@@ -181,6 +181,46 @@ func TestConcurrentStress(t *testing.T) {
 
 // TestWarmGetPutAllocFree asserts the steady-state contract: once a class
 // is warm, Get/Put cycles perform zero heap allocations.
+// TestGetRawReusesWithoutZeroing pins GetRaw's contract on both Arena and
+// Local: pooled reuse (same backing array), correct length, no zero fill
+// — a recycled buffer surfaces the previous owner's contents, which is
+// exactly what makes it cheaper than Get for fully-overwritten pack
+// buffers.
+func TestGetRawReusesWithoutZeroing(t *testing.T) {
+	a := New()
+	b1 := a.GetRaw(100)
+	if len(b1) != 100 {
+		t.Fatalf("GetRaw(100) length %d", len(b1))
+	}
+	for i := range b1 {
+		b1[i] = 7
+	}
+	p1 := &b1[0]
+	a.Put(b1)
+	b2 := a.GetRaw(70) // same class (128)
+	if &b2[0] != p1 {
+		t.Fatal("GetRaw after Put did not reuse the pooled buffer")
+	}
+	if b2[0] != 7 {
+		t.Fatalf("GetRaw zeroed the recycled buffer (got %v), want previous contents", b2[0])
+	}
+	if a.GetRaw(0) != nil {
+		t.Fatal("GetRaw(0) must return nil")
+	}
+
+	l := a.NewLocal()
+	lb := l.GetRaw(50)
+	lb[0] = 9
+	l.Put(lb)
+	lb2 := l.GetRaw(40)
+	if &lb2[0] != &lb[:1][0] {
+		t.Fatal("Local.GetRaw did not reuse the locally cached buffer")
+	}
+	if lb2[0] != 9 {
+		t.Fatal("Local.GetRaw zeroed the recycled buffer")
+	}
+}
+
 func TestWarmGetPutAllocFree(t *testing.T) {
 	a := New()
 	a.Put(a.Get(300)) // warm the class

@@ -47,6 +47,39 @@ func TestTapeReplayAllocFree(t *testing.T) {
 	}
 }
 
+// TestMatMulTapeAllocFree asserts that the MatMul op stays allocation-free
+// on warm tape replays now that it drives the blocked GEMM engine
+// directly (no cached row closures): the engine's serial dispatch builds
+// no closures and its pack buffers come from a shared arena, at both a
+// packed-path shape (64×64·64) and a naive-dispatch shape (the 1-wide
+// output head). Forward and both backward GEMMs are covered.
+func TestMatMulTapeAllocFree(t *testing.T) {
+	old := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(old)
+
+	rng := tensor.NewRNG(3)
+	x := NewParam("x", tensor.Randn(rng, 1, 64, 64))
+	w1 := NewParam("w1", tensor.Randn(rng, 0.3, 64, 64))
+	w2 := NewParam("w2", tensor.Randn(rng, 0.3, 64, 1))
+
+	tape := NewTape()
+	step := func() {
+		x.ZeroGrad()
+		w1.ZeroGrad()
+		w2.ZeroGrad()
+		tape.Reset()
+		h := Tanh(MatMul(tape.Watch(x), tape.Watch(w1)))
+		tape.Backward(Sum(MatMul(h, tape.Watch(w2))))
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(10, step); n != 0 {
+		t.Errorf("warm MatMul tape pass allocates %v per step, want 0", n)
+	}
+}
+
 // TestLeafOfBackwardSeeded checks the stage-boundary contract the pipeline
 // engine builds on: splitting a chain across two tapes — downstream wraps
 // the upstream activation with LeafOf, and the upstream tape replays via

@@ -10,7 +10,6 @@ import (
 // changes op never runs a stale kernel.
 const (
 	opGeneric uint8 = iota
-	opMatMul
 	opConv
 )
 

@@ -3,12 +3,18 @@ package autograd
 import (
 	"fmt"
 
-	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // MatMul returns a·b for a [n,k] and b [k,m].
 // Gradients: da = dout·bᵀ, db = aᵀ·dout.
+//
+// Forward and both backward products run on the blocked, packed GEMM
+// engine behind tensor.MatMul*Into. The engine owns its parallelism (2-D
+// output tiles over the worker pool) and its workspaces (pack buffers
+// from a shared arena), so the op needs no cached kernel closures: the
+// serial dispatch path inside the engine allocates nothing, keeping warm
+// tape replays at 0 allocs/op.
 func MatMul(a, b *Var) *Var {
 	tp := tapeOf(a, b)
 	if tp == nil {
@@ -22,16 +28,9 @@ func MatMul(a, b *Var) *Var {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Value.Shape, b.Value.Shape))
 	}
-	nd := tp.node(opMatMul, matMulBack, a, b, nil)
+	nd := tp.node(opGeneric, matMulBack, a, b, nil)
 	out := tp.result(nd, n, m)
-	if nd.fwd == nil {
-		// Cached kernel closures capture only the node and read the current
-		// operands at call time, so one allocation serves every pass.
-		nd.fwd = func(lo, hi int) { tensor.MatMulRows(nd.out.Value, nd.a.Value, nd.b.Value, lo, hi) }
-		nd.bwd = func(lo, hi int) { tensor.MatMulTransBRows(nd.t0, nd.out.Grad, nd.b.Value, lo, hi) }
-		nd.bwd2 = func(lo, hi int) { tensor.MatMulTransARows(nd.t1, nd.a.Value, nd.out.Grad, lo, hi) }
-	}
-	parallel.ForCost(n, float64(k*m), nd.fwd)
+	tensor.MatMulInto(out.Value, a.Value, b.Value)
 	return out
 }
 
@@ -43,13 +42,13 @@ func matMulBack(nd *node) {
 		// da = dout·bᵀ, computed into pooled scratch and then accumulated,
 		// matching the allocate-then-AddInPlace bits of the original op.
 		nd.tape.ensureTensor(&nd.t0, n, k)
-		parallel.ForCost(n, float64(k*m), nd.bwd)
+		tensor.MatMulTransBInto(nd.t0, nd.out.Grad, b.Value)
 		a.Grad.AddInPlace(nd.t0)
 	}
 	if b.tape != nil {
 		// db = aᵀ·dout.
 		nd.tape.ensureTensor(&nd.t1, k, m)
-		parallel.ForCost(k, float64(n*m), nd.bwd2)
+		tensor.MatMulTransAInto(nd.t1, a.Value, nd.out.Grad)
 		b.Grad.AddInPlace(nd.t1)
 	}
 }

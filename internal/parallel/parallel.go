@@ -132,6 +132,84 @@ func (p *Pool) Worth(totalCost float64) bool {
 	return p.Workers() > 1 && totalCost >= minParallelCost
 }
 
+// ForTiles splits the 2-D index space [0, rows) × [0, cols) into
+// contiguous rectangular tiles and runs body over them on up to Workers
+// goroutines, returning when every tile completes. body(r0, r1, c0, c1)
+// owns the output rectangle [r0, r1) × [c0, c1): every (row, col) pair is
+// covered by exactly one tile, so a body that writes only to outputs it
+// owns — and accumulates each output element in the serial order — keeps
+// the bit-identical-at-every-worker-count contract of For/ForCost.
+//
+// itemCost is the approximate float-op cost of one (row, col) element
+// (for a GEMM output, ~2k). Loops too small to amortize forking run
+// inline, like ForCost. Unlike the 1-D loops, ForTiles keeps all workers
+// busy on skinny (cols ≪ rows) and short (rows ≪ cols, e.g. the
+// Transformer's short-tall projections) outputs: when one dimension has
+// too few indices to go around, the other is split as well.
+func (p *Pool) ForTiles(rows, cols int, itemCost float64, body func(r0, r1, c0, c1 int)) {
+	if rows <= 0 || cols <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w <= 1 || float64(rows)*float64(cols)*itemCost < minParallelCost {
+		body(0, rows, 0, cols)
+		return
+	}
+	// Smallest tile area (index pairs) that amortizes goroutine forking.
+	minArea := 1
+	if itemCost > 0 {
+		if a := int(minParallelCost / itemCost); a > 1 {
+			minArea = a
+		}
+	}
+	target := 4 * w // a few tiles per worker so uneven tiles load-balance
+	if maxTiles := rows * cols / minArea; target > maxTiles {
+		target = maxTiles
+	}
+	// Prefer splitting rows — row-contiguous tiles keep the row-major
+	// inner loops streaming — and split columns only when there are too
+	// few rows to occupy every worker.
+	rt := rows
+	if rt > target {
+		rt = target
+	}
+	ct := (target + rt - 1) / rt
+	if ct > cols {
+		ct = cols
+	}
+	if rt*ct <= 1 {
+		body(0, rows, 0, cols)
+		return
+	}
+	p.forkTiles(rows, cols, rt, ct, w, body)
+}
+
+// forkTiles runs the rt × ct tile grid over [0, rows) × [0, cols) on up
+// to w goroutines through an atomic cursor (the 2-D analogue of forkRun).
+func (p *Pool) forkTiles(rows, cols, rt, ct, w int, body func(r0, r1, c0, c1 int)) {
+	tiles := rt * ct
+	if w > tiles {
+		w = tiles
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(cursor.Add(1) - 1)
+				if t >= tiles {
+					return
+				}
+				ri, ci := t/ct, t%ct
+				body(ri*rows/rt, (ri+1)*rows/rt, ci*cols/ct, (ci+1)*cols/ct)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Do runs the given functions concurrently on up to Workers goroutines and
 // waits for all of them — heterogeneous fork-join for coarse tasks.
 func (p *Pool) Do(fns ...func()) {
@@ -166,3 +244,8 @@ func ForCost(n int, itemCost float64, body func(lo, hi int)) {
 // Worth reports whether a loop of the given total cost is worth
 // parallelizing on the process-wide pool.
 func Worth(totalCost float64) bool { return defaultPool.Worth(totalCost) }
+
+// ForTiles runs a 2-D tiled loop on the process-wide pool.
+func ForTiles(rows, cols int, itemCost float64, body func(r0, r1, c0, c1 int)) {
+	defaultPool.ForTiles(rows, cols, itemCost, body)
+}

@@ -107,6 +107,74 @@ func TestWorth(t *testing.T) {
 	}
 }
 
+func TestForTilesCoversEveryCellExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, sh := range [][2]int{
+			{0, 10}, {10, 0}, {1, 1}, {1, 1000}, {1000, 1},
+			{7, 13}, {64, 64}, {8, 512}, {512, 8},
+		} {
+			rows, cols := sh[0], sh[1]
+			hits := make([]int32, rows*cols)
+			// itemCost high enough that every shape is allowed to fork.
+			p.ForTiles(rows, cols, 1e6, func(r0, r1, c0, c1 int) {
+				if r0 < 0 || r1 > rows || r0 > r1 || c0 < 0 || c1 > cols || c0 > c1 {
+					t.Errorf("workers=%d %dx%d: bad tile [%d,%d)x[%d,%d)",
+						workers, rows, cols, r0, r1, c0, c1)
+				}
+				for i := r0; i < r1; i++ {
+					for j := c0; j < c1; j++ {
+						atomic.AddInt32(&hits[i*cols+j], 1)
+					}
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d %dx%d: cell %d covered %d times", workers, rows, cols, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForTilesRunsTinyLoopsInline(t *testing.T) {
+	p := NewPool(8)
+	calls := 0
+	p.ForTiles(16, 16, 1, func(r0, r1, c0, c1 int) {
+		calls++
+		if r0 != 0 || r1 != 16 || c0 != 0 || c1 != 16 {
+			t.Fatalf("inline tile [%d,%d)x[%d,%d), want the whole space", r0, r1, c0, c1)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("tiny 2-D loop forked %d tiles", calls)
+	}
+	p.SetWorkers(1)
+	calls = 0
+	p.ForTiles(1000, 1000, 1e6, func(r0, r1, c0, c1 int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("serial pool forked %d tiles", calls)
+	}
+}
+
+// TestForTilesSplitsShortAndSkinny is the utilization fix the 2-D
+// scheduler exists for: a worker pool wider than the short dimension must
+// still receive at least one tile per worker by splitting the other
+// dimension — row-only sharding would leave (workers − rows) workers idle
+// on the Transformer's short-tall shapes.
+func TestForTilesSplitsShortAndSkinny(t *testing.T) {
+	p := NewPool(8)
+	for _, sh := range [][2]int{{2, 4096}, {4096, 2}, {1, 8192}} {
+		rows, cols := sh[0], sh[1]
+		var tiles atomic.Int32
+		p.ForTiles(rows, cols, 1e6, func(r0, r1, c0, c1 int) { tiles.Add(1) })
+		if int(tiles.Load()) < 8 {
+			t.Errorf("%dx%d on 8 workers produced %d tiles; want >= 8 so no worker starves",
+				rows, cols, tiles.Load())
+		}
+	}
+}
+
 func TestDefaultPoolHelpers(t *testing.T) {
 	old := Workers()
 	defer SetWorkers(old)
@@ -125,9 +193,16 @@ func TestDefaultPoolHelpers(t *testing.T) {
 			atomic.AddInt32(&sum[i], 1)
 		}
 	})
+	ForTiles(10, 10, 1e6, func(r0, r1, c0, c1 int) {
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				atomic.AddInt32(&sum[i*10+j], 1)
+			}
+		}
+	})
 	for i, h := range sum {
-		if h != 2 {
-			t.Fatalf("index %d covered %d times, want 2", i, h)
+		if h != 3 {
+			t.Fatalf("index %d covered %d times, want 3", i, h)
 		}
 	}
 }

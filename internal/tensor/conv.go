@@ -39,6 +39,16 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 // Conv2D call — the exported sharded body, reusable through a cached
 // closure by steady-state callers. Every output element is fully
 // overwritten.
+//
+// The loop nest is the register-friendly row-accumulator form: each
+// output row is initialized to the bias and then accumulates one
+// (channel, kernel-row) contribution at a time, with the in-bounds
+// interior columns running through an unrolled, branch-free tap loop.
+// Per output element the terms still arrive in the serial
+// (ic, ky, kx) order with bias first — exactly the sequence of the
+// original elementwise nest — so results are bit-identical to it (the
+// parity test in conv_test.go pins this against a retained naive
+// reference).
 func Conv2DPlanes(out, x, w, b *Tensor, stride, pad, lo, hi int) {
 	c, h, wd := x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
@@ -50,33 +60,96 @@ func Conv2DPlanes(out, x, w, b *Tensor, stride, pad, lo, hi int) {
 			bias = b.Data[of]
 		}
 		for oy := 0; oy < ho; oy++ {
-			for ox := 0; ox < wo; ox++ {
-				s := bias
-				iy0 := oy*stride - pad
-				ix0 := ox*stride - pad
-				for ic := 0; ic < c; ic++ {
-					xBase := ((in*c + ic) * h) * wd
-					wBase := ((of*c + ic) * kh) * kw
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						xRow := xBase + iy*wd
-						wRow := wBase + ky*kw
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							s += x.Data[xRow+ix] * w.Data[wRow+kx]
-						}
+			orow := out.Data[(plane*ho+oy)*wo : (plane*ho+oy+1)*wo]
+			for i := range orow {
+				orow[i] = bias
+			}
+			iy0 := oy*stride - pad
+			for ic := 0; ic < c; ic++ {
+				xBase := ((in*c + ic) * h) * wd
+				wBase := ((of*c + ic) * kh) * kw
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						continue
 					}
+					convRowAcc(orow,
+						x.Data[xBase+iy*wd:xBase+(iy+1)*wd],
+						w.Data[wBase+ky*kw:wBase+(ky+1)*kw],
+						stride, pad, wd)
 				}
-				out.Data[((in*f+of)*ho+oy)*wo+ox] = s
 			}
 		}
 	}
+}
+
+// convRowAcc accumulates one (channel, kernel-row) contribution into an
+// output row: orow[ox] += Σ_kx xRow[ox·stride−pad+kx] · wRow[kx] over the
+// in-bounds kx range, ascending. Interior columns (whole kernel row in
+// bounds) run the unrolled fast path; edge columns clamp the tap range —
+// the same taps, in the same order, as the elementwise nest.
+func convRowAcc(orow, xRow, wRow []float64, stride, pad, wd int) {
+	wo, kw := len(orow), len(wRow)
+	lo := 0
+	if pad > 0 {
+		lo = (pad + stride - 1) / stride // first ox with ox·stride−pad >= 0
+		if lo > wo {
+			lo = wo
+		}
+	}
+	hi := 0
+	if t := wd + pad - kw; t >= 0 {
+		hi = t/stride + 1 // one past the last ox with the row fully in bounds
+		if hi > wo {
+			hi = wo
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for ox := 0; ox < lo; ox++ {
+		convEdgeTap(orow, xRow, wRow, ox, stride, pad, wd)
+	}
+	if kw == 3 {
+		w0, w1, w2 := wRow[0], wRow[1], wRow[2]
+		for ox := lo; ox < hi; ox++ {
+			ix0 := ox*stride - pad
+			s := orow[ox]
+			s += xRow[ix0] * w0
+			s += xRow[ix0+1] * w1
+			s += xRow[ix0+2] * w2
+			orow[ox] = s
+		}
+	} else {
+		for ox := lo; ox < hi; ox++ {
+			ix0 := ox*stride - pad
+			s := orow[ox]
+			for kx, wv := range wRow {
+				s += xRow[ix0+kx] * wv
+			}
+			orow[ox] = s
+		}
+	}
+	for ox := hi; ox < wo; ox++ {
+		convEdgeTap(orow, xRow, wRow, ox, stride, pad, wd)
+	}
+}
+
+// convEdgeTap accumulates the in-bounds taps of one edge output column.
+func convEdgeTap(orow, xRow, wRow []float64, ox, stride, pad, wd int) {
+	ix0 := ox*stride - pad
+	kx0, kx1 := 0, len(wRow)
+	if ix0 < 0 {
+		kx0 = -ix0
+	}
+	if ix0+kx1 > wd {
+		kx1 = wd - ix0
+	}
+	s := orow[ox]
+	for kx := kx0; kx < kx1; kx++ {
+		s += xRow[ix0+kx] * wRow[kx]
+	}
+	orow[ox] = s
 }
 
 // Conv2DBackward computes gradients of a Conv2D call: given upstream grad
@@ -357,6 +430,109 @@ func Conv2DIm2colIn(al arena.Allocator, x, w, b *Tensor, stride, pad int) *Tenso
 	cols.Release()
 	prod.Release()
 	return out
+}
+
+// Conv2DIm2colBackward computes the gradients of a convolution via the
+// im2col + GEMM formulation, on the blocked GEMM engine: with
+// cols = im2col(x) and dprod the [N·HO·WO, F] unfold of dout,
+//
+//	dw = dprodᵀ·cols   (MatMulTransA — the packed engine's TA variant)
+//	dx = col2im(dprod·w̃) for the flattened filter bank w̃ [F, C·KH·KW]
+//	db = column sums of dprod
+//
+// This is the backward formulation accelerator backends run. The autograd
+// tape deliberately keeps the direct Conv2DBackward* kernels: gradients
+// here equal Conv2DBackward's only up to summation order (the GEMM
+// accumulates per-patch terms in a different association), so switching
+// the training path would change training bits and void the PR1–PR4
+// serial/DP/PP bit-identity baselines. This entry point is groundwork for
+// backends that adopt the GEMM route end to end. Every leg shards
+// deterministically — dprod by plane, the GEMMs by output tile, col2im by
+// sample, db by filter — so results are bit-identical at every worker
+// count. Workspaces come from the shared im2col pool; dx/dw/db are heap
+// tensors (an arena variant belongs with the backend that adopts this
+// path). db is nil when hasBias is false.
+func Conv2DIm2colBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, db *Tensor) {
+	n, c := x.Shape[0], x.Shape[1]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	ho, wo := dout.Shape[2], dout.Shape[3]
+	rows, patch, plane := n*ho*wo, c*kh*kw, ho*wo
+
+	cols := NewIn(im2colWorkspace, rows, patch)
+	Im2colInto(cols, x, kh, kw, stride, pad)
+
+	// dprod: transpose dout's [N,F,HO,WO] planes into im2col row order.
+	dprod := NewIn(im2colWorkspace, rows, f)
+	parallel.ForCost(n*f, float64(plane), func(p0, p1 int) {
+		for p := p0; p < p1; p++ {
+			in, of := p/f, p%f
+			src := dout.Data[p*plane : (p+1)*plane]
+			base := in * plane
+			for i, g := range src {
+				dprod.Data[(base+i)*f+of] = g
+			}
+		}
+	})
+
+	wmat := FromSlice(w.Data, f, patch)
+	dw = New(w.Shape...)
+	MatMulTransAInto(FromSlice(dw.Data, f, patch), dprod, cols)
+
+	dcols := NewIn(im2colWorkspace, rows, patch)
+	MatMulInto(dcols, dprod, wmat)
+
+	// col2im: scatter each patch-row gradient back onto its receptive
+	// field. Samples own disjoint slices of dx, and within a sample the
+	// (r, ic, ky, kx) order is fixed, so the scatter is deterministic.
+	dx = New(x.Shape...)
+	h, wd := x.Shape[2], x.Shape[3]
+	parallel.ForCost(n, float64(plane*patch), func(n0, n1 int) {
+		for in := n0; in < n1; in++ {
+			for r := in * plane; r < (in+1)*plane; r++ {
+				ox := r % wo
+				oy := (r / wo) % ho
+				iy0 := oy*stride - pad
+				ix0 := ox*stride - pad
+				row := dcols.Data[r*patch : (r+1)*patch]
+				for ic := 0; ic < c; ic++ {
+					xBase := ((in*c + ic) * h) * wd
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xRow := xBase + iy*wd
+						src := (ic*kh + ky) * kw
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							dx.Data[xRow+ix] += row[src+kx]
+						}
+					}
+				}
+			}
+		}
+	})
+
+	if hasBias {
+		db = New(f)
+		parallel.ForCost(f, float64(rows), func(f0, f1 int) {
+			for of := f0; of < f1; of++ {
+				s := 0.0
+				for r := 0; r < rows; r++ {
+					s += dprod.Data[r*f+of]
+				}
+				db.Data[of] = s
+			}
+		})
+	}
+
+	cols.Release()
+	dprod.Release()
+	dcols.Release()
+	return dx, dw, db
 }
 
 // MaxPool2D computes max pooling over NCHW input with square window k and

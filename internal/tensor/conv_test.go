@@ -1,0 +1,143 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// conv2DNaiveRef is the retained elementwise reference for the
+// convolution forward: the original (oy, ox, ic, ky, kx) nest with bias
+// first and out-of-bounds taps skipped. Conv2DPlanes' row-accumulator
+// form must reproduce it bit for bit.
+func conv2DNaiveRef(x, w, b *Tensor, stride, pad int) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	ho, wo := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	out := New(n, f, ho, wo)
+	for in := 0; in < n; in++ {
+		for of := 0; of < f; of++ {
+			bias := 0.0
+			if b != nil {
+				bias = b.Data[of]
+			}
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					s := bias
+					iy0, ix0 := oy*stride-pad, ox*stride-pad
+					for ic := 0; ic < c; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								s += x.Data[((in*c+ic)*h+iy)*wd+ix] * w.Data[((of*c+ic)*kh+ky)*kw+kx]
+							}
+						}
+					}
+					out.Data[((in*f+of)*ho+oy)*wo+ox] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestConv2DPlanesMatchesNaiveRef pins the optimized forward kernel to
+// the elementwise reference across kernel sizes (incl. the unrolled 3-tap
+// fast path and 1x1 convs), strides, and paddings — bit for bit.
+func TestConv2DPlanesMatchesNaiveRef(t *testing.T) {
+	rng := NewRNG(61)
+	for _, cfg := range []struct{ n, c, h, w, f, k, stride, pad int }{
+		{2, 3, 9, 9, 4, 3, 1, 1},
+		{1, 2, 8, 8, 3, 3, 2, 1},
+		{2, 4, 7, 7, 5, 1, 1, 0},
+		{1, 3, 10, 6, 2, 5, 1, 2},
+		{1, 1, 5, 5, 1, 3, 1, 4}, // padding wider than the kernel
+		{2, 2, 6, 6, 3, 2, 2, 0},
+		{1, 2, 4, 11, 2, 3, 3, 1},
+	} {
+		x := Randn(rng, 1, cfg.n, cfg.c, cfg.h, cfg.w)
+		w := Randn(rng, 1, cfg.f, cfg.c, cfg.k, cfg.k)
+		bias := Randn(rng, 1, cfg.f)
+		sparsify(rng, x)
+		for _, b := range []*Tensor{nil, bias} {
+			want := conv2DNaiveRef(x, w, b, cfg.stride, cfg.pad)
+			got := Conv2D(x, w, b, cfg.stride, cfg.pad)
+			if len(got.Data) != len(want.Data) {
+				t.Fatalf("%+v: size %d vs %d", cfg, len(got.Data), len(want.Data))
+			}
+			for i := range want.Data {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("%+v bias=%v elem %d: got %v, reference %v",
+						cfg, b != nil, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConv2DIm2colBackwardMatchesDirect checks the GEMM-formulated
+// backward against the direct kernels (equal up to summation order) and
+// its own bit-determinism across worker counts.
+func TestConv2DIm2colBackwardMatchesDirect(t *testing.T) {
+	rng := NewRNG(67)
+	x := Randn(rng, 1, 2, 3, 12, 12)
+	w := Randn(rng, 1, 8, 3, 3, 3)
+	dout := Randn(rng, 1, 2, 8, 12, 12)
+	sparsify(rng, dout)
+
+	var ddx, ddw, ddb *Tensor
+	withWorkers(t, 1, func() { ddx, ddw, ddb = Conv2DBackward(x, w, dout, 1, 1, true) })
+
+	var sdx, sdw, sdb *Tensor
+	withWorkers(t, 1, func() { sdx, sdw, sdb = Conv2DIm2colBackward(x, w, dout, 1, 1, true) })
+
+	check := func(name string, got, want *Tensor) {
+		t.Helper()
+		for i := range want.Data {
+			if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-10 {
+				t.Fatalf("%s elem %d: im2col %v vs direct %v (|Δ|=%g)", name, i, got.Data[i], want.Data[i], d)
+			}
+		}
+	}
+	check("dx", sdx, ddx)
+	check("dw", sdw, ddw)
+	check("db", sdb, ddb)
+
+	for _, wk := range workerCounts {
+		withWorkers(t, wk, func() {
+			dx, dw, db := Conv2DIm2colBackward(x, w, dout, 1, 1, true)
+			sameBits(t, "Conv2DIm2colBackward/dx", wk, dx, sdx)
+			sameBits(t, "Conv2DIm2colBackward/dw", wk, dw, sdw)
+			sameBits(t, "Conv2DIm2colBackward/db", wk, db, sdb)
+		})
+	}
+
+	// Without bias, db must stay nil and the other legs unchanged.
+	withWorkers(t, 1, func() {
+		dx, dw, db := Conv2DIm2colBackward(x, w, dout, 1, 1, false)
+		if db != nil {
+			t.Fatal("db must stay nil without bias")
+		}
+		sameBits(t, "Conv2DIm2colBackward/dx-nobias", 1, dx, sdx)
+		sameBits(t, "Conv2DIm2colBackward/dw-nobias", 1, dw, sdw)
+	})
+
+	// Strided + padded shape against the direct backward too.
+	x2 := Randn(rng, 1, 2, 2, 9, 9)
+	w2 := Randn(rng, 1, 4, 2, 3, 3)
+	ho, wo := ConvOut(9, 3, 2, 1), ConvOut(9, 3, 2, 1)
+	dout2 := Randn(rng, 1, 2, 4, ho, wo)
+	withWorkers(t, 1, func() {
+		ex, ew, eb := Conv2DBackward(x2, w2, dout2, 2, 1, true)
+		gx, gw, gb := Conv2DIm2colBackward(x2, w2, dout2, 2, 1, true)
+		check("strided/dx", gx, ex)
+		check("strided/dw", gw, ew)
+		check("strided/db", gb, eb)
+	})
+}

@@ -1,0 +1,116 @@
+// AVX2 4x8 GEMM micro-kernel. See gemm_amd64.go for the contract and
+// gemm.go for the determinism rationale (separate VMULPD + VADDPD per
+// depth step — never FMA — so every lane reproduces the scalar kernels'
+// rounding exactly).
+
+#include "textflag.h"
+
+// func microKernel4x8AVX2(c *float64, ldc int, ap, bp *float64, kc int, first bool)
+//
+// Register plan:
+//   Y0..Y7  — the 4x8 C tile: Y(2r) = row r cols 0..3, Y(2r+1) = cols 4..7
+//   Y8, Y9  — the current depth step's eight B values
+//   Y10     — broadcast A value for the current row
+//   Y11     — product temporary (mul then add; no FMA)
+TEXT ·microKernel4x8AVX2(SB), NOSPLIT, $0-41
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	SHLQ $3, SI            // row stride in bytes
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVBQZX first+40(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ DX, DX
+	JNZ   loop             // first panel: accumulators start at zero
+
+	// Later panels: load the current C tile so each element continues its
+	// ascending-k accumulation exactly where the previous panel left off.
+	MOVQ    DI, R8
+	VMOVUPD (R8), Y0
+	VMOVUPD 32(R8), Y1
+	ADDQ    SI, R8
+	VMOVUPD (R8), Y2
+	VMOVUPD 32(R8), Y3
+	ADDQ    SI, R8
+	VMOVUPD (R8), Y4
+	VMOVUPD 32(R8), Y5
+	ADDQ    SI, R8
+	VMOVUPD (R8), Y6
+	VMOVUPD 32(R8), Y7
+
+loop:
+	VMOVUPD (BX), Y8       // B cols 0..3
+	VMOVUPD 32(BX), Y9     // B cols 4..7
+
+	VBROADCASTSD (AX), Y10 // A row 0
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y0, Y0
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y1, Y1
+
+	VBROADCASTSD 8(AX), Y10 // A row 1
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y2, Y2
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y3, Y3
+
+	VBROADCASTSD 16(AX), Y10 // A row 2
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y4, Y4
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y5, Y5
+
+	VBROADCASTSD 24(AX), Y10 // A row 3
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y6, Y6
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y7, Y7
+
+	ADDQ $32, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  loop
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+
+	VZEROUPPER
+	RET
+
+// func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvRaw() (eax, edx uint32)
+TEXT ·xgetbvRaw(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

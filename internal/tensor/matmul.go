@@ -2,16 +2,27 @@ package tensor
 
 import (
 	"fmt"
-
-	"repro/internal/parallel"
 )
 
-// MatMul returns the matrix product a·b for 2-D tensors a [n,k] and b [k,m].
-// The k-inner loop is ordered (i,k,j) so the innermost traversal is
-// sequential over both b and the output row, which is the standard
-// cache-friendly form for row-major data. Output rows are sharded over the
-// worker pool; each element accumulates over k in the serial order, so the
-// result is bit-identical at every worker count.
+// The three dense-product entry points (MatMul, MatMulTransA,
+// MatMulTransB, plus their *Into forms) all route through the blocked,
+// packed, register-tiled engine in gemm.go. The MatMul*Rows functions
+// below are the retained naive reference kernels: the engine dispatches
+// to them for tiny shapes, the parity tests in gemm_test.go hold the
+// engine to their bits, and steady-state callers may still drive them
+// through cached range closures.
+//
+// Semantics (shared by reference and engine): every product term is
+// computed and accumulated — a zero operand contributes an exact ±0·x
+// term rather than being skipped, so NaN/Inf in the other operand
+// propagate per IEEE 754. (The previous kernels skipped a == 0 terms,
+// silently suppressing 0·Inf = NaN and, in principle, flipping signed
+// zeros; on finite inputs the bits are unchanged — see gemm.go.)
+
+// MatMul returns the matrix product a·b for 2-D tensors a [n,k] and
+// b [k,m]. Each output element accumulates its k terms in ascending
+// order regardless of worker count, block size, or dispatch path, so the
+// result is bit-identical at every pool width.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
@@ -22,18 +33,15 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	c := New(n, m)
-	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		MatMulRows(c, a, b, lo, hi)
-	})
+	gemmInto(gemmNN, c, a, b, n, k, m)
 	return c
 }
 
-// MatMulRows computes output rows [lo, hi) of c = a·b, zeroing them first.
-// It is the sharded body of MatMul, exported so steady-state callers (the
-// autograd tape) can drive it through a cached closure instead of
-// allocating a fresh one per step. Each row is owned by exactly one range,
-// and accumulation over k follows the serial order, so results are
-// bit-identical to MatMul at any range split.
+// MatMulRows computes output rows [lo, hi) of c = a·b, zeroing them
+// first — the naive (i,k,j) reference kernel, row-sharded. Each row is
+// owned by exactly one range and accumulates over k in ascending order,
+// so any range split produces the serial bits. The blocked engine is held
+// bit-identical to this kernel on finite inputs (gemm_test.go).
 func MatMulRows(c, a, b *Tensor, lo, hi int) {
 	k, m := a.Shape[1], b.Shape[1]
 	for i := lo; i < hi; i++ {
@@ -44,22 +52,16 @@ func MatMulRows(c, a, b *Tensor, lo, hi int) {
 		}
 		for p := 0; p < k; p++ {
 			av := ar[p]
-			if av == 0 {
-				continue
-			}
 			br := b.Data[p*m : (p+1)*m]
-			for j := 0; j < m; j++ {
-				cr[j] += av * br[j]
+			for j, bv := range br {
+				cr[j] += av * bv
 			}
 		}
 	}
 }
 
 // MatMulTransA returns aᵀ·b for a [k,n] and b [k,m], producing [n,m].
-// Used by backward passes: dW = xᵀ·dy. Workers own disjoint output-row
-// ranges [lo, hi) and replay the serial (p, i, j) nest restricted to their
-// rows, so each element's accumulation order over p — and therefore the
-// bits — match the serial result exactly.
+// Used by backward passes: dW = xᵀ·dy.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulTransA requires rank-2 operands")
@@ -70,15 +72,13 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	c := New(n, m)
-	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		MatMulTransARows(c, a, b, lo, hi)
-	})
+	gemmInto(gemmTA, c, a, b, n, k, m)
 	return c
 }
 
-// MatMulTransARows computes output rows [lo, hi) of c = aᵀ·b, zeroing them
-// first — the exported sharded body of MatMulTransA (see MatMulRows for
-// why). Accumulation over p replays the serial order per element.
+// MatMulTransARows computes output rows [lo, hi) of c = aᵀ·b, zeroing
+// them first — the naive reference kernel for the transposed-A variant.
+// Accumulation over p replays the serial order per element.
 func MatMulTransARows(c, a, b *Tensor, lo, hi int) {
 	k, n := a.Shape[0], a.Shape[1]
 	m := b.Shape[1]
@@ -93,12 +93,9 @@ func MatMulTransARows(c, a, b *Tensor, lo, hi int) {
 		br := b.Data[p*m : (p+1)*m]
 		for i := lo; i < hi; i++ {
 			av := ar[i]
-			if av == 0 {
-				continue
-			}
 			cr := c.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				cr[j] += av * br[j]
+			for j, bv := range br {
+				cr[j] += av * bv
 			}
 		}
 	}
@@ -116,15 +113,13 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	c := New(n, m)
-	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		MatMulTransBRows(c, a, b, lo, hi)
-	})
+	gemmInto(gemmTB, c, a, b, n, k, m)
 	return c
 }
 
-// MatMulTransBRows computes output rows [lo, hi) of c = a·bᵀ — the
-// exported sharded body of MatMulTransB. Every output element is fully
-// overwritten, so no zeroing is needed.
+// MatMulTransBRows computes output rows [lo, hi) of c = a·bᵀ — the naive
+// reference kernel for the transposed-B variant. Every output element is
+// fully overwritten, so no zeroing is needed.
 func MatMulTransBRows(c, a, b *Tensor, lo, hi int) {
 	k, m := a.Shape[1], b.Shape[0]
 	for i := lo; i < hi; i++ {
@@ -142,42 +137,36 @@ func MatMulTransBRows(c, a, b *Tensor, lo, hi int) {
 }
 
 // MatMulInto writes a·b into c, which must be [n, m]. Bit-identical to
-// MatMul.
+// MatMul; the output buffer is fully overwritten. c must not alias a or b.
 func MatMulInto(c, a, b *Tensor) {
 	n, k := a.Shape[0], a.Shape[1]
 	m := b.Shape[1]
 	if c.Shape[0] != n || c.Shape[1] != m || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v = %v x %v", c.Shape, a.Shape, b.Shape))
 	}
-	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		MatMulRows(c, a, b, lo, hi)
-	})
+	gemmInto(gemmNN, c, a, b, n, k, m)
 }
 
 // MatMulTransAInto writes aᵀ·b into c, which must be [n, m]. Bit-identical
-// to MatMulTransA.
+// to MatMulTransA. c must not alias a or b.
 func MatMulTransAInto(c, a, b *Tensor) {
 	k, n := a.Shape[0], a.Shape[1]
 	m := b.Shape[1]
 	if c.Shape[0] != n || c.Shape[1] != m || k != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch %v = %vᵀ x %v", c.Shape, a.Shape, b.Shape))
 	}
-	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		MatMulTransARows(c, a, b, lo, hi)
-	})
+	gemmInto(gemmTA, c, a, b, n, k, m)
 }
 
 // MatMulTransBInto writes a·bᵀ into c, which must be [n, m]. Bit-identical
-// to MatMulTransB.
+// to MatMulTransB. c must not alias a or b.
 func MatMulTransBInto(c, a, b *Tensor) {
 	n, k := a.Shape[0], a.Shape[1]
 	m := b.Shape[0]
 	if c.Shape[0] != n || c.Shape[1] != m || k != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch %v = %v x %vᵀ", c.Shape, a.Shape, b.Shape))
 	}
-	parallel.ForCost(n, float64(k*m), func(lo, hi int) {
-		MatMulTransBRows(c, a, b, lo, hi)
-	})
+	gemmInto(gemmTB, c, a, b, n, k, m)
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.
