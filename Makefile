@@ -2,13 +2,13 @@ GO ?= go
 
 BENCH_SMOKE_OUT ?= bench-smoke.out
 
-.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke
+.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32
 
 all: check
 
 # Everything CI runs, in the same order — reproduce any CI failure locally
 # with exactly `make ci` (the workflow jobs call these same targets).
-ci: check race bench-smoke
+ci: check race bench-smoke smoke-f32
 
 # The fast gate: formatting, static checks, a full build, and the fast tests.
 check: fmt vet staticcheck build test-short
@@ -67,6 +67,16 @@ pp-smoke:
 	@cat $(BENCH_SMOKE_OUT)
 	@awk '/^BenchmarkStepPipeline/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: pipeline step allocates: " $$0; bad = 1 } } \
 		END { if (bad) exit 1; print "pp-smoke: all BenchmarkStepPipeline* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
+
+# Reduced-numerics smoke: short training runs under each reduced regime
+# through the CLI (f32 GEMM → low-precision autograd staging → mixed
+# precision → harness plumbing, end to end), then the numerics-focused
+# test slices across the stack. The fp64 regime needs no smoke of its own:
+# every other target trains it.
+smoke-f32:
+	$(GO) run ./cmd/mlperf -benchmark recommendation -dtype f32 -runs 1 -max-epochs 2
+	$(GO) run ./cmd/mlperf -benchmark recommendation -dtype bf16 -runs 1 -max-epochs 2
+	$(GO) test -run 'F32|BF16|Numerics|StatCheck|Quantize|MP|LP' ./internal/tensor ./internal/autograd ./internal/precision ./internal/core ./internal/dist
 
 # Just the serial-vs-parallel substrate comparisons.
 bench-kernels:

@@ -68,9 +68,35 @@ func reportGFLOPS(b *testing.B, n, k, m int) {
 	}
 }
 
+// benchGEMMF32Shape times the float32 engine (the reduced-precision
+// regime's compute path) through MatMulF32Into. Same blocking and
+// determinism contract as the f64 engine, but the 8×8 micro-kernel moves
+// twice the elements per vector — the two-regime numerics PR's headline
+// throughput win.
+func benchGEMMF32Shape(b *testing.B, n, k, m int) {
+	b.Helper()
+	withPoolWorkers(b, 1)
+	rng := tensor.NewRNG(1)
+	x, y := tensor.NewF32(n, k), tensor.NewF32(k, m)
+	x.FromF64(tensor.Randn(rng, 1, n, k), tensor.Float32)
+	y.FromF64(tensor.Randn(rng, 1, k, m), tensor.Float32)
+	c := tensor.NewF32(n, m)
+	tensor.MatMulF32Into(c, x, y) // warm the pack-buffer pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulF32Into(c, x, y)
+	}
+	b.StopTimer()
+	reportGFLOPS(b, n, k, m)
+}
+
 func BenchmarkGEMMSquare512(b *testing.B)       { benchGEMMShape(b, 512, 512, 512) }
 func BenchmarkGEMMTallSkinny(b *testing.B)      { benchGEMMShape(b, 4096, 64, 64) }
 func BenchmarkGEMMShortWide(b *testing.B)       { benchGEMMShape(b, 32, 64, 2048) }
+func BenchmarkGEMMF32Square512(b *testing.B)    { benchGEMMF32Shape(b, 512, 512, 512) }
+func BenchmarkGEMMF32TallSkinny(b *testing.B)   { benchGEMMF32Shape(b, 4096, 64, 64) }
+func BenchmarkGEMMF32ShortWide(b *testing.B)    { benchGEMMF32Shape(b, 32, 64, 2048) }
 func BenchmarkGEMMNaiveSquare512(b *testing.B)  { benchGEMMNaiveShape(b, 512, 512, 512) }
 func BenchmarkGEMMNaiveTallSkinny(b *testing.B) { benchGEMMNaiveShape(b, 4096, 64, 64) }
 func BenchmarkGEMMNaiveShortWide(b *testing.B)  { benchGEMMNaiveShape(b, 32, 64, 2048) }

@@ -11,6 +11,8 @@
 //	mlperf -benchmark recommendation -dp 4   # data-parallel training (internal/dist)
 //	mlperf -benchmark image_classification -pp-stages 4 -pp-schedule 1f1b   # pipeline parallel (internal/pipeline)
 //	mlperf -benchmark image_classification -pp-stages 2 -dp 2              # hybrid DP×PP
+//	mlperf -benchmark recommendation -dtype bf16 -runs 5 -verify stat      # reduced numerics, §3.3 gate
+//	mlperf -benchmark recommendation -verify bitwise                       # fp64 re-run reproducibility check
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/precision"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func main() {
 		ppStages  = flag.Int("pp-stages", 0, "pipeline-parallel stages: train on the internal/pipeline engine with the model split into S cost-balanced stages (0 = no pipeline; supported: image_classification, translation_transformer). Combine with -dp for hybrid DP×PP")
 		ppSched   = flag.String("pp-schedule", "gpipe", "microbatch schedule for -pp-stages: gpipe (fill-drain) or 1f1b. Never affects results, only activation liveness")
 		ppMicro   = flag.Int("pp-microbatches", 0, "microbatches per global batch for -pp-stages (0 = auto). Runs sharing seed, batch, and microbatches are bit-identical across every (stages, schedule, workers) combination")
+		dtypeF    = flag.String("dtype", "f64", "training compute regime: f64 (the bitwise-verified reference), f32 (reduced compute; supported: image_classification, recommendation), or bf16 (f32 storage with bf16 rounding, master weights, dynamic loss scaling)")
+		verifyF   = flag.String("verify", "off", "run-set verification: off; auto (bitwise for -dtype f64, stat otherwise); bitwise (re-execute run 0 and require identical epochs and quality — the fp64 determinism contract); stat (train a paired fp64 reference run set and gate this regime's epochs-to-target quantiles per §3.3; needs -runs >= 3)")
 	)
 	flag.Parse()
 
@@ -47,6 +53,40 @@ func main() {
 	v := core.Version(*version)
 	if v != core.V05 && v != core.V06 {
 		fmt.Fprintf(os.Stderr, "unknown version %q\n", *version)
+		os.Exit(2)
+	}
+
+	dtype, err := tensor.ParseDType(*dtypeF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	num := precision.NumericsFor(dtype)
+
+	verify := *verifyF
+	if verify == "auto" {
+		if dtype == tensor.Float64 {
+			verify = "bitwise"
+		} else {
+			verify = "stat"
+		}
+	}
+	switch verify {
+	case "off", "bitwise", "stat":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -verify mode %q (want off, auto, bitwise, or stat)\n", *verifyF)
+		os.Exit(2)
+	}
+	if verify == "bitwise" && dtype != tensor.Float64 {
+		fmt.Fprintf(os.Stderr, "-verify bitwise requires -dtype f64: the %s regime is gated statistically (-verify stat), not bitwise\n", dtype)
+		os.Exit(2)
+	}
+	if verify == "stat" && dtype == tensor.Float64 {
+		fmt.Fprintln(os.Stderr, "-verify stat compares a reduced regime against the fp64 reference; with -dtype f64 use -verify bitwise")
+		os.Exit(2)
+	}
+	if *ppStages > 0 && num.Mixed {
+		fmt.Fprintln(os.Stderr, "-dtype bf16 (mixed precision) is not supported with -pp-stages: the master-weight/loss-scaling step bracket does not decompose across stage shards; use -dtype f32, or bf16 with -dp/serial")
 		os.Exit(2)
 	}
 
@@ -66,40 +106,47 @@ func main() {
 		ids = []string{*benchmark}
 	}
 
+	failed := false
 	for _, id := range ids {
-		var b core.Benchmark
-		var err error
-		switch {
-		case *ppStages > 0:
-			dpWorkers := *dp // per-stage replicas, unrelated to the -workers kernel pool
-			if dpWorkers < 1 {
-				dpWorkers = 1
+		// makeBench builds this benchmark under an arbitrary regime, so the
+		// stat verifier can construct the paired fp64 reference with the
+		// same parallelism topology.
+		makeBench := func(n precision.Numerics) (core.Benchmark, error) {
+			switch {
+			case *ppStages > 0:
+				dpWorkers := *dp // per-stage replicas, unrelated to the -workers kernel pool
+				if dpWorkers < 1 {
+					dpWorkers = 1
+				}
+				return core.PPBenchmarkDType(v, id, *ppStages, dpWorkers, *ppMicro, *ppSched, n.Compute)
+			case *dp > 0:
+				return core.DPBenchmarkNumerics(v, id, *dp, *dpShards, n)
+			case n.Compute != tensor.Float64 || n.Mixed:
+				return core.NumericsBenchmark(v, id, n)
+			default:
+				return core.FindBenchmark(v, id)
 			}
-			b, err = core.PPBenchmark(v, id, *ppStages, dpWorkers, *ppMicro, *ppSched)
-			if err != nil && *benchmark == "all" {
-				// With -benchmark all, skip benchmarks the pipeline engine
+		}
+		b, err := makeBench(num)
+		if err != nil {
+			if *benchmark == "all" {
+				// With -benchmark all, skip benchmarks this configuration
 				// doesn't support rather than aborting the suite.
 				fmt.Fprintf(os.Stderr, "skipping %s: %v\n", id, err)
 				continue
 			}
-		case *dp > 0:
-			b, err = core.DPBenchmark(v, id, *dp, *dpShards)
-			if err != nil && *benchmark == "all" {
-				// With -benchmark all, skip benchmarks the data-parallel
-				// engine doesn't support rather than aborting the suite.
-				fmt.Fprintf(os.Stderr, "skipping %s: %v\n", id, err)
-				continue
-			}
-		default:
-			b, err = core.FindBenchmark(v, id)
-		}
-		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		tag := core.NumericsTag(num)
+		verifyTag := ""
+		if verify != "off" {
+			verifyTag = verify
+		}
 		var rs core.ResultSet
 		if *par {
-			cfg := core.RunSetConfig{BaseSeed: *seed, Runs: *runs, Workers: *workers, MaxEpochs: *maxEpochs}
+			cfg := core.RunSetConfig{BaseSeed: *seed, Runs: *runs, Workers: *workers,
+				MaxEpochs: *maxEpochs, Numerics: tag, Verify: verifyTag}
 			if *logs {
 				cfg.LogWriter = os.Stdout
 			}
@@ -110,7 +157,8 @@ func main() {
 		} else {
 			rs = core.ResultSet{Benchmark: id}
 			for i := 0; i < *runs; i++ {
-				cfg := core.RunConfig{Seed: *seed + uint64(i), MaxEpochs: *maxEpochs}
+				cfg := core.RunConfig{Seed: *seed + uint64(i), MaxEpochs: *maxEpochs,
+					Numerics: tag, Verify: verifyTag}
 				if *logs {
 					cfg.LogWriter = os.Stdout
 				}
@@ -126,5 +174,48 @@ func main() {
 			fmt.Printf("%s: olympic mean over %d converged runs: %s\n",
 				id, len(times), core.OlympicMean(times).Round(time.Millisecond))
 		}
+
+		switch verify {
+		case "bitwise":
+			// The fp64 regime's contract is exact reproducibility: re-execute
+			// run 0 under the identical config and require the same training
+			// trajectory (epochs and every evaluated quality value).
+			again := core.Run(b, core.RunConfig{Seed: *seed, MaxEpochs: *maxEpochs, Numerics: tag, Verify: verifyTag})
+			first := rs.Runs[0]
+			ok := again.Epochs == first.Epochs && again.FinalQuality == first.FinalQuality &&
+				len(again.QualityCurve) == len(first.QualityCurve)
+			if ok {
+				for i := range again.QualityCurve {
+					if again.QualityCurve[i] != first.QualityCurve[i] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				fmt.Printf("%s: bitwise verification PASS (run 0 reproduced exactly)\n", id)
+			} else {
+				fmt.Printf("%s: bitwise verification FAIL: re-run of seed %d gave epochs=%d quality=%v, first gave epochs=%d quality=%v\n",
+					id, *seed, again.Epochs, again.FinalQuality, first.Epochs, first.FinalQuality)
+				failed = true
+			}
+		case "stat":
+			refB, err := makeBench(precision.Numerics{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			refCfg := core.RunSetConfig{BaseSeed: *seed, Runs: *runs, Workers: *workers,
+				MaxEpochs: *maxEpochs, Numerics: "f64", Verify: verifyTag}
+			refSet := core.RunSet(refB, refCfg)
+			res := core.StatCheck(refSet, rs, core.StatCheckConfig{})
+			fmt.Println(res.String())
+			if !res.Pass {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -5,25 +5,39 @@
 //
 // The package tree:
 //
-//	internal/core       — suite, runner, timing rules, aggregation (the paper's contribution)
+//	internal/core       — suite, runner, timing rules, aggregation (the
+//	                      paper's contribution); two-regime verification:
+//	                      the fp64 stack is gated bitwise, reduced
+//	                      numerics are gated by StatCheck, the §3.3
+//	                      epochs-to-quality quantile comparison over
+//	                      paired run sets
 //	internal/parallel   — worker pool + sharded loops and 2-D tile loops
 //	                      (ForTiles: row×column output tiles, so skinny and
 //	                      short matrices keep every worker busy;
 //	                      deterministic parallel substrate)
-//	internal/arena      — size-bucketed []float64 pool with per-worker free
+//	internal/arena      — generic size-bucketed buffer pool (float64 and
+//	                      float32 element types) with per-worker free
 //	                      lists; backs the allocation-free steady-state
 //	                      training step (0 allocs/op after warmup) and the
 //	                      GEMM pack buffers (GetRaw)
 //	internal/tensor     — dense tensors + deterministic RNG; blocked,
-//	                      packed, register-tiled GEMM engine (gemm.go:
-//	                      GotoBLAS-style MC×KC×NC blocking, AVX2 4×8
-//	                      micro-kernel with portable fallback,
-//	                      bit-identical to the naive reference kernels)
+//	                      packed, register-tiled GEMM engines (gemm.go/
+//	                      gemm32.go: GotoBLAS-style MC×KC×NC blocking;
+//	                      AVX2 4×8 f64 and 8×8 f32 micro-kernels with
+//	                      portable fallbacks, bit-identical to the naive
+//	                      reference kernels); F32 storage + bf16 rounding
 //	internal/autograd   — tape-based reverse-mode autodiff (pooled, replayable
-//	                      tapes: Reset + slot reuse keep warm steps alloc-free)
+//	                      tapes: Reset + slot reuse keep warm steps alloc-free;
+//	                      per-tape compute dtype stages MatMul operands in
+//	                      f32/bf16, BackwardScaled seeds the loss scale)
 //	internal/nn         — layer library (conv, BN, LSTM, attention, ...)
-//	internal/opt        — SGD (both §2.2.4 momentum forms), Adam, LARS, schedules
-//	internal/precision  — simulated numeric formats (Figure 1)
+//	internal/opt        — SGD (both §2.2.4 momentum forms), Adam, LARS, schedules;
+//	                      GradScaled lets mixed precision divide the loss
+//	                      scale out inside the update loop
+//	internal/precision  — simulated numeric formats (Figure 1) and the
+//	                      mixed-precision trainer: bf16 master-weight
+//	                      rounds, fp32/fp64 accumulation, dynamic loss
+//	                      scaling (power-of-two scales, exact unscale)
 //	internal/data       — input pipeline + §3.2.1 stage rules
 //	internal/datasets   — synthetic stand-ins for ImageNet/COCO/WMT/MovieLens
 //	internal/metrics    — top-1, mAP, BLEU, HR@10, move match

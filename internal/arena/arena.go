@@ -1,5 +1,5 @@
 // Package arena implements a size-bucketed, goroutine-safe pool of
-// []float64 buffers for the steady-state training hot paths. MLPerf's
+// float buffers for the steady-state training hot paths. MLPerf's
 // time-to-train metric rewards implementations whose per-step cost is flat
 // — in Go terms, training loops that stop exercising the garbage collector
 // once warm. The tensor substrate (tensor.NewIn / Tensor.Release), the
@@ -8,10 +8,15 @@
 // step needs is recycled from the previous one and the steady-state
 // allocation count is zero.
 //
-// Buffers are grouped into power-of-two size classes. The shared Arena
-// guards each class with its own mutex; workers that want uncontended
-// access wrap the Arena in a Local (NewLocal), a single-goroutine free
-// list that batches refills from and spills to the parent.
+// The pool is generic over the element type (PoolOf[E]): the float64
+// instantiation (Arena) backs the bit-identical fp64 reference path, and
+// the float32 instantiation (Arena32) backs the reduced-precision compute
+// path — the f32 GEMM engine's pack buffers and the autograd tape's
+// reduced-precision staging buffers. Buffers are grouped into power-of-two
+// size classes. The shared pool guards each class with its own mutex;
+// workers that want uncontended access wrap the pool in a per-goroutine
+// Local (NewLocal), a single-goroutine free list that batches refills from
+// and spills to the parent.
 package arena
 
 import (
@@ -23,16 +28,32 @@ import (
 
 // maxClass bounds the supported size classes: class c holds buffers of
 // capacity 2^c, so the largest poolable buffer is 2^(maxClass-1) elements
-// (512 Mi float64s — 4 GiB — far beyond any tensor in this repository).
+// (512 Mi elements — 4 GiB of float64 — far beyond any tensor in this
+// repository).
 const maxClass = 30
 
-// Allocator is the buffer-source contract shared by Arena and Local.
+// Elem constrains the poolable element types: the two compute dtypes of
+// the numeric stack.
+type Elem interface {
+	float32 | float64
+}
+
+// AllocatorOf is the buffer-source contract shared by PoolOf and LocalOf.
 // Get returns a zero-filled slice of length n; Put recycles a slice
 // previously returned by Get on the same allocator family.
-type Allocator interface {
-	Get(n int) []float64
-	Put(buf []float64)
+type AllocatorOf[E Elem] interface {
+	Get(n int) []E
+	Put(buf []E)
 }
+
+// Allocator is the float64 allocator contract — the interface the fp64
+// reference path (tensor.NewIn, the autograd tape, the dist engine) is
+// written against.
+type Allocator = AllocatorOf[float64]
+
+// Allocator32 is the float32 allocator contract of the reduced-precision
+// compute path.
+type Allocator32 = AllocatorOf[float32]
 
 // class returns the size-class index for a buffer of n elements: the
 // smallest c with 2^c >= n.
@@ -55,39 +76,52 @@ type Stats struct {
 	Misses uint64
 }
 
-// Arena is a goroutine-safe, size-bucketed buffer pool. The zero value is
-// not usable; construct with New.
-type Arena struct {
-	buckets [maxClass + 1]bucket
+// PoolOf is a goroutine-safe, size-bucketed buffer pool over one element
+// type. The zero value is not usable; construct with New (float64), New32
+// (float32), or NewPool (any Elem).
+type PoolOf[E Elem] struct {
+	buckets [maxClass + 1]bucketOf[E]
 
 	gets   atomic.Uint64
 	puts   atomic.Uint64
 	misses atomic.Uint64
 }
 
-// bucket is one size class: a mutex-guarded stack of idle buffers.
-type bucket struct {
+// Arena is the float64 pool of the bit-identical fp64 reference path.
+type Arena = PoolOf[float64]
+
+// Arena32 is the float32 pool of the reduced-precision compute path.
+type Arena32 = PoolOf[float32]
+
+// bucketOf is one size class: a mutex-guarded stack of idle buffers.
+type bucketOf[E Elem] struct {
 	mu   sync.Mutex
-	free [][]float64
+	free [][]E
 }
 
-// New returns an empty arena.
+// New returns an empty float64 arena.
 func New() *Arena { return &Arena{} }
+
+// New32 returns an empty float32 arena.
+func New32() *Arena32 { return &Arena32{} }
+
+// NewPool returns an empty pool of the given element type.
+func NewPool[E Elem]() *PoolOf[E] { return &PoolOf[E]{} }
 
 // Get returns a zero-filled slice of length n (capacity rounded up to the
 // class size). n == 0 returns nil. The caller owns the buffer until it
 // passes it back via Put.
-func (a *Arena) Get(n int) []float64 {
+func (a *PoolOf[E]) Get(n int) []E {
 	return zeroed(a.GetRaw(n))
 }
 
 // GetRaw returns a slice of length n with UNSPECIFIED contents — recycled
 // buffers keep whatever the previous owner wrote. It is Get without the
 // zero fill, for callers that overwrite the whole buffer anyway (the GEMM
-// engine's pack buffers, which rewrite every element of each panel they
+// engines' pack buffers, which rewrite every element of each panel they
 // stage, padding included). Everything else about the contract matches
 // Get: the caller owns the buffer until it passes it back via Put.
-func (a *Arena) GetRaw(n int) []float64 {
+func (a *PoolOf[E]) GetRaw(n int) []E {
 	if n == 0 {
 		return nil
 	}
@@ -100,7 +134,7 @@ func (a *Arena) GetRaw(n int) []float64 {
 		// Beyond the poolable range: plain heap allocation, never pooled
 		// (Put drops such buffers for the GC to reclaim).
 		a.misses.Add(1)
-		return make([]float64, n)
+		return make([]E, n)
 	}
 	b := &a.buckets[c]
 	b.mu.Lock()
@@ -113,11 +147,11 @@ func (a *Arena) GetRaw(n int) []float64 {
 	}
 	b.mu.Unlock()
 	a.misses.Add(1)
-	return make([]float64, n, 1<<c)
+	return make([]E, n, 1<<c)
 }
 
 // zeroed clears and returns buf — Get's zero-fill layered over GetRaw.
-func zeroed(buf []float64) []float64 {
+func zeroed[E Elem](buf []E) []E {
 	for i := range buf {
 		buf[i] = 0
 	}
@@ -131,7 +165,7 @@ func zeroed(buf []float64) []float64 {
 // so retaining them would only pin memory), and panics when buf is already
 // the most recently filed buffer of its class — the cheap
 // immediate-double-Put check; Tensor.Release layers a precise one on top.
-func (a *Arena) Put(buf []float64) {
+func (a *PoolOf[E]) Put(buf []E) {
 	if cap(buf) == 0 {
 		return
 	}
@@ -154,7 +188,7 @@ func (a *Arena) Put(buf []float64) {
 }
 
 // Stats returns cumulative traffic counters for the shared arena.
-func (a *Arena) Stats() Stats {
+func (a *PoolOf[E]) Stats() Stats {
 	return Stats{Gets: a.gets.Load(), Puts: a.puts.Load(), Misses: a.misses.Load()}
 }
 
@@ -162,28 +196,31 @@ func (a *Arena) Stats() Stats {
 // spilling to the parent arena.
 const localKeep = 8
 
-// Local is a per-worker free list in front of a shared Arena: Get and Put
+// LocalOf is a per-worker free list in front of a shared pool: Get and Put
 // hit the local stacks without locking and fall through to the parent only
-// on miss or overflow. A Local must be used by one goroutine at a time
-// (e.g. one data-parallel worker); the parent arena provides the safe
+// on miss or overflow. A LocalOf must be used by one goroutine at a time
+// (e.g. one data-parallel worker); the parent pool provides the safe
 // cross-worker exchange.
-type Local struct {
-	parent *Arena
-	free   [maxClass + 1][][]float64
+type LocalOf[E Elem] struct {
+	parent *PoolOf[E]
+	free   [maxClass + 1][][]E
 }
 
-// NewLocal returns a per-worker cache backed by the arena.
-func (a *Arena) NewLocal() *Local { return &Local{parent: a} }
+// Local is the float64 per-worker cache of the fp64 reference path.
+type Local = LocalOf[float64]
+
+// NewLocal returns a per-worker cache backed by the pool.
+func (a *PoolOf[E]) NewLocal() *LocalOf[E] { return &LocalOf[E]{parent: a} }
 
 // Get returns a zero-filled slice of length n, preferring the local free
 // list over the shared arena.
-func (l *Local) Get(n int) []float64 {
+func (l *LocalOf[E]) Get(n int) []E {
 	return zeroed(l.GetRaw(n))
 }
 
 // GetRaw returns a slice of length n with UNSPECIFIED contents,
-// preferring the local free list — Local's counterpart of Arena.GetRaw.
-func (l *Local) GetRaw(n int) []float64 {
+// preferring the local free list — LocalOf's counterpart of PoolOf.GetRaw.
+func (l *LocalOf[E]) GetRaw(n int) []E {
 	if n == 0 {
 		return nil
 	}
@@ -205,7 +242,7 @@ func (l *Local) GetRaw(n int) []float64 {
 
 // Put recycles a buffer into the local free list, spilling to the parent
 // arena when the class is full.
-func (l *Local) Put(buf []float64) {
+func (l *LocalOf[E]) Put(buf []E) {
 	if cap(buf) == 0 {
 		return
 	}
@@ -225,7 +262,7 @@ func (l *Local) Put(buf []float64) {
 }
 
 // Flush spills every locally cached buffer back to the parent arena.
-func (l *Local) Flush() {
+func (l *LocalOf[E]) Flush() {
 	for c := range l.free {
 		for _, buf := range l.free[c] {
 			l.parent.Put(buf)

@@ -72,6 +72,8 @@ type Tape struct {
 	watch map[*Param]*Var // cached leaf Vars, stable across passes
 
 	alloc arena.Allocator // optional buffer source for node tensors
+
+	dtype tensor.DType // compute regime for the MatMul-class ops
 }
 
 // NewTape returns an empty tape whose buffers come from the Go heap.
@@ -84,13 +86,29 @@ func NewTape() *Tape { return &Tape{} }
 func NewTapeIn(a arena.Allocator) *Tape { return &Tape{alloc: a} }
 
 // Reset rewinds the tape for the next forward/backward pass, keeping every
-// node and buffer for reuse. It must not be called while Vars from the
-// previous pass are still in use.
+// node and buffer for reuse — including the compute dtype, which is a
+// property of the training run, not of one pass. It must not be called
+// while Vars from the previous pass are still in use.
 func (t *Tape) Reset() {
 	t.n = 0
 	t.nc = 0
 	t.nl = 0
 }
+
+// SetDType selects the compute regime for the MatMul-class ops recorded
+// after the call: tensor.Float64 (the default — the bitwise-verified
+// reference path, unchanged), or tensor.Float32 / tensor.BFloat16, which
+// stage operands into pooled float32 buffers, run the f32 GEMM engine
+// (bf16-rounding the operands first under BFloat16), and widen results
+// back — while parameters, gradients, and every non-GEMM op stay float64.
+// Reduced-dtype results are deterministic at any worker count but not
+// bit-equal to the reference; they are verified statistically
+// (core.StatCheck). Call before the first pass; switching dtype between
+// passes is allowed (slots restage on the next forward).
+func (t *Tape) SetDType(d tensor.DType) { t.dtype = d }
+
+// DType returns the tape's compute regime.
+func (t *Tape) DType() tensor.DType { return t.dtype }
 
 // record appends a legacy closure-based backward step. Ops recorded this
 // way allocate their closure every pass; the hot-path ops use typed nodes
@@ -107,12 +125,20 @@ func (t *Tape) Len() int { return t.n }
 
 // Backward seeds the scalar loss gradient with 1 and runs all recorded
 // backward steps in reverse order. It panics if loss is not scalar.
-func (t *Tape) Backward(loss *Var) {
+func (t *Tape) Backward(loss *Var) { t.BackwardScaled(loss, 1) }
+
+// BackwardScaled is Backward with a caller-chosen gradient seed: every
+// accumulated gradient comes out multiplied by seed. Mixed-precision
+// training seeds with the dynamic loss scale so small gradients survive
+// the bf16 rounding of the reduced-precision backward products; the
+// optimizer divides the scale back out before the update. With seed 1 it
+// is exactly Backward.
+func (t *Tape) BackwardScaled(loss *Var, seed float64) {
 	if loss.Value.Size() != 1 {
 		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", loss.Value.Shape))
 	}
 	if loss.Grad != nil {
-		loss.Grad.Data[0] = 1
+		loss.Grad.Data[0] = seed
 	}
 	for i := t.n - 1; i >= 0; i-- {
 		nd := t.nodes[i]

@@ -31,6 +31,14 @@ type node struct {
 	t0, t1, t2 *tensor.Tensor // pooled scratch (e.g. conv dx/dw/db)
 	aux        *tensor.Tensor // caller-owned tensor retained for backward
 
+	// Reduced-precision staging buffers (MatMul under a non-Float64 tape
+	// dtype): forward operands, forward output (reused for the converted
+	// upstream gradient in backward), and the two gradient products. Five
+	// distinct buffers because the backward products read lpa/lpb/lpo
+	// concurrently — results cannot alias operands. Heap-backed and
+	// shape-stable across Reset, so warm replays stage at 0 allocs/op.
+	lpa, lpb, lpo, lpda, lpdb *tensor.F32
+
 	idx       []int     // pooled ints: labels, gather indices, argmax
 	buf, buf2 []float64 // pooled floats: xhat, masks, probs, saved stats
 
@@ -165,6 +173,20 @@ func releaseIfArena(pt **tensor.Tensor) {
 		(*pt).Release()
 	}
 	*pt = nil
+}
+
+// ensureF32 makes *pt a float32 staging tensor of the given shape,
+// reusing the existing buffer when the element count matches. Contents are
+// unspecified; callers overwrite via FromF64 or a GEMM call.
+func ensureF32(pt **tensor.F32, shape ...int) *tensor.F32 {
+	cur := *pt
+	if cur != nil && len(cur.Data) == numel(shape) {
+		cur.Shape = append(cur.Shape[:0], shape...)
+		return cur
+	}
+	cur = tensor.NewF32(shape...)
+	*pt = cur
+	return cur
 }
 
 // intsCap returns s resized to n, reusing its capacity.

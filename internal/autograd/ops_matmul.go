@@ -28,10 +28,52 @@ func MatMul(a, b *Var) *Var {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Value.Shape, b.Value.Shape))
 	}
+	if tp.dtype != tensor.Float64 {
+		// Reduced-precision regime: stage the operands at compute
+		// precision (narrowed to f32; additionally bf16-rounded under
+		// BFloat16), run the f32 engine with fp32 accumulation, widen the
+		// result back. The staged operands stay live in the node for the
+		// backward products.
+		nd := tp.node(opGeneric, matMulLPBack, a, b, nil)
+		out := tp.result(nd, n, m)
+		la := ensureF32(&nd.lpa, n, k)
+		lb := ensureF32(&nd.lpb, k, m)
+		lo := ensureF32(&nd.lpo, n, m)
+		la.FromF64(a.Value, tp.dtype)
+		lb.FromF64(b.Value, tp.dtype)
+		tensor.MatMulF32Into(lo, la, lb)
+		lo.CopyToF64(out.Value)
+		return out
+	}
 	nd := tp.node(opGeneric, matMulBack, a, b, nil)
 	out := tp.result(nd, n, m)
 	tensor.MatMulInto(out.Value, a.Value, b.Value)
 	return out
+}
+
+// matMulLPBack runs both backward products at compute precision: the
+// upstream gradient is staged with the same dtype rounding as the forward
+// operands (reusing the forward-output buffer — same shape), each product
+// runs on the f32 engine, and the float32 results accumulate into the
+// float64 gradient buffers, so cross-op gradient accumulation stays at
+// full precision.
+func matMulLPBack(nd *node) {
+	a, b := nd.a, nd.b
+	n, k := a.Value.Shape[0], a.Value.Shape[1]
+	m := b.Value.Shape[1]
+	nd.lpo.FromF64(nd.out.Grad, nd.tape.dtype)
+	if a.tape != nil {
+		// da = dout·bᵀ
+		lda := ensureF32(&nd.lpda, n, k)
+		tensor.MatMulF32TransBInto(lda, nd.lpo, nd.lpb)
+		lda.AddToF64(a.Grad)
+	}
+	if b.tape != nil {
+		// db = aᵀ·dout
+		ldb := ensureF32(&nd.lpdb, k, m)
+		tensor.MatMulF32TransAInto(ldb, nd.lpa, nd.lpo)
+		ldb.AddToF64(b.Grad)
+	}
 }
 
 func matMulBack(nd *node) {

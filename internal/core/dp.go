@@ -6,6 +6,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/dist"
 	"repro/internal/models"
+	"repro/internal/precision"
 )
 
 // DPBenchmark returns a copy of the suite benchmark whose New constructor
@@ -20,6 +21,16 @@ import (
 // microshards produce bit-identical parameters at every worker count
 // dividing microshards — the dist determinism contract.
 func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, error) {
+	return DPBenchmarkNumerics(v, id, workers, microshards, precision.Numerics{})
+}
+
+// DPBenchmarkNumerics is DPBenchmark under an explicit compute regime
+// (§2.2.3): the engine's per-worker tapes run the given dtype and, in the
+// mixed regime, every replica carries its own lockstep mixed-precision
+// trainer. The zero-value regime is exactly DPBenchmark. The numerics
+// live in the engine config — not the model hyperparameters — because the
+// engine owns the tapes and the step bracket in data-parallel training.
+func DPBenchmarkNumerics(v Version, id string, workers, microshards int, num precision.Numerics) (Benchmark, error) {
 	b, err := FindBenchmark(v, id)
 	if err != nil {
 		return Benchmark{}, err
@@ -55,6 +66,7 @@ func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, err
 			eng, err := dist.New(dist.Config{
 				Workers: workers, Microshards: microshards,
 				GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: seed, Arena: pool,
+				Numerics: num,
 			}, func(worker int) dist.Replica {
 				m := models.NewRecommendation(ds, hp, seed)
 				reps = append(reps, m)
@@ -73,6 +85,7 @@ func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, err
 			eng, err := dist.New(dist.Config{
 				Workers: workers, Microshards: microshards,
 				GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: seed, Arena: pool,
+				Numerics: num,
 			}, func(worker int) dist.Replica {
 				m := models.NewImageClassification(ds, hp, seed)
 				reps = append(reps, m)
@@ -96,6 +109,9 @@ func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, err
 	}
 
 	b.Model += fmt.Sprintf(" [data-parallel ×%d]", workers)
+	if num.Compute != 0 || num.Mixed {
+		b.Model += fmt.Sprintf(" [numerics %s]", NumericsTag(num))
+	}
 	return b, nil
 }
 

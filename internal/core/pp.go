@@ -6,6 +6,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/models"
 	"repro/internal/pipeline"
+	"repro/internal/tensor"
 )
 
 // PPBenchmark returns a copy of the suite benchmark whose New constructor
@@ -24,6 +25,16 @@ import (
 // running statistics accumulate per replica from its own microbatches, so
 // measured quality can differ slightly across worker counts.)
 func PPBenchmark(v Version, id string, stages, workers, microbatches int, schedule string) (Benchmark, error) {
+	return PPBenchmarkDType(v, id, stages, workers, microbatches, schedule, tensor.Float64)
+}
+
+// PPBenchmarkDType is PPBenchmark with the stage tapes running the given
+// compute dtype (§2.2.3). Only the plain dtype is supported here — the
+// full mixed-precision recipe (master-weight rounds + dynamic loss
+// scaling) is a whole-model step bracket and does not decompose across
+// stage shards; use DPBenchmarkNumerics or the serial NumericsBenchmark
+// for the bf16+mp regime.
+func PPBenchmarkDType(v Version, id string, stages, workers, microbatches int, schedule string, dtype tensor.DType) (Benchmark, error) {
 	b, err := FindBenchmark(v, id)
 	if err != nil {
 		return Benchmark{}, err
@@ -56,7 +67,7 @@ func PPBenchmark(v Version, id string, stages, workers, microbatches int, schedu
 			eng, err := pipeline.New(pipeline.Config{
 				Stages: stages, Workers: workers, Microbatches: microbatches,
 				Schedule: sched, GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN,
-				Seed: seed, Arena: pool,
+				Seed: seed, Arena: pool, DType: dtype,
 			}, func(worker int) []pipeline.StageReplica {
 				m := models.NewImageClassification(ds, hp, seed)
 				reps = append(reps, m)
@@ -80,7 +91,7 @@ func PPBenchmark(v Version, id string, stages, workers, microbatches int, schedu
 			eng, err := pipeline.New(pipeline.Config{
 				Stages: stages, Workers: workers, Microbatches: microbatches,
 				Schedule: sched, GlobalBatch: hp.Batch, DatasetN: len(ds.Train),
-				Seed: seed, Arena: pool,
+				Seed: seed, Arena: pool, DType: dtype,
 			}, func(worker int) []pipeline.StageReplica {
 				m := models.NewTranslation(ds, hp, seed)
 				reps = append(reps, m)
@@ -104,6 +115,9 @@ func PPBenchmark(v Version, id string, stages, workers, microbatches int, schedu
 		b.Model += fmt.Sprintf(" [hybrid DP×%d PP×%d]", workers, stages)
 	} else {
 		b.Model += fmt.Sprintf(" [pipeline ×%d]", stages)
+	}
+	if dtype != tensor.Float64 {
+		b.Model += fmt.Sprintf(" [numerics %s]", dtype)
 	}
 	return b, nil
 }

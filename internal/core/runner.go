@@ -32,6 +32,14 @@ type RunConfig struct {
 	// EvalEvery sets the quality-evaluation cadence in epochs (default 1,
 	// the "prescribed intervals" of §4.1).
 	EvalEvery int
+	// Numerics, when non-empty, is the run's compute-regime tag ("f64",
+	// "f32", "bf16+mp"), logged under mlog.KeyNumerics. Purely
+	// informational: the regime itself is baked into the benchmark's New
+	// constructor (NumericsBenchmark / DPBenchmarkNumerics).
+	Numerics string
+	// Verify, when non-empty, is the verification-regime tag ("bitwise"
+	// or "stat"), logged under mlog.KeyVerify.
+	Verify string
 }
 
 // RunResult is the outcome of one timed training session.
@@ -75,6 +83,12 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 	logger.Simple(ms(clock.Now()), mlog.KeyBenchmark, b.ID)
 	logger.Simple(ms(clock.Now()), mlog.KeySeed, cfg.Seed)
 	logger.Simple(ms(clock.Now()), mlog.KeyQualityTarget, b.Target)
+	if cfg.Numerics != "" {
+		logger.Simple(ms(clock.Now()), mlog.KeyNumerics, cfg.Numerics)
+	}
+	if cfg.Verify != "" {
+		logger.Simple(ms(clock.Now()), mlog.KeyVerify, cfg.Verify)
+	}
 
 	// --- Excluded: system initialization (§3.2.1) ---
 	initStart := clock.Now()

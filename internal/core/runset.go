@@ -39,6 +39,10 @@ type RunSetConfig struct {
 	// MaxEpochs and EvalEvery are forwarded to each RunConfig.
 	MaxEpochs int
 	EvalEvery int
+	// Numerics and Verify are forwarded to each RunConfig (MLLOG regime
+	// tags; see RunConfig).
+	Numerics string
+	Verify   string
 }
 
 // RunSet executes a benchmark's run set, concurrently when cfg.Workers
@@ -60,6 +64,8 @@ func RunSet(b Benchmark, cfg RunSetConfig) ResultSet {
 				Seed:      cfg.BaseSeed + uint64(i),
 				MaxEpochs: cfg.MaxEpochs,
 				EvalEvery: cfg.EvalEvery,
+				Numerics:  cfg.Numerics,
+				Verify:    cfg.Verify,
 			}
 			if cfg.NewClock != nil {
 				rc.Clock = cfg.NewClock(i)

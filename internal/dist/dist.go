@@ -35,6 +35,7 @@ import (
 	"repro/internal/autograd"
 	"repro/internal/data"
 	"repro/internal/opt"
+	"repro/internal/precision"
 	"repro/internal/tensor"
 )
 
@@ -94,6 +95,14 @@ type Config struct {
 	// instead of growing the heap. Arena is goroutine-safe, so concurrent
 	// engines may share one. Nil gives the engine a private arena.
 	Arena *arena.Arena
+	// Numerics selects the training compute regime (§2.2.3). The zero
+	// value is the float64 reference path, bit-identical to pre-numerics
+	// engines. Reduced regimes keep the worker-count-invariance contract:
+	// the microshard reduction order is unchanged, and in the mixed
+	// (bf16 + loss scaling) regime every replica's scale decision is a
+	// deterministic function of the identical all-reduced gradients, so
+	// the per-replica MP trainers stay in lockstep.
+	Numerics precision.Numerics
 }
 
 // Stats counts the engine's communication and compute activity.
@@ -142,6 +151,7 @@ type Engine struct {
 	buffers *arena.Arena
 	tapes   []*autograd.Tape
 	locals  []*arena.Local
+	mps     []*precision.MP // per-replica mixed-precision trainers (nil entries when not mixed)
 	rngs    []tensor.RNG
 	shards  [][]int
 	invB    float64
@@ -239,9 +249,12 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	// reusable microshard RNG.
 	e.tapes = make([]*autograd.Tape, cfg.Workers)
 	e.locals = make([]*arena.Local, cfg.Workers)
+	e.mps = make([]*precision.MP, cfg.Workers)
 	for w := range e.tapes {
 		e.locals[w] = e.buffers.NewLocal()
 		e.tapes[w] = autograd.NewTapeIn(e.locals[w])
+		e.tapes[w].SetDType(cfg.Numerics.Compute)
+		e.mps[w] = cfg.Numerics.NewTrainer(e.params[w])
 	}
 	e.rngs = make([]tensor.RNG, cfg.Workers)
 
@@ -441,6 +454,15 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64) {
 	// --- Local compute: one forward/backward per owned microshard ---
 	tape := e.tapes[w]
 	rng := &e.rngs[w]
+	mp := e.mps[w]
+	scale := 1.0
+	if mp != nil {
+		// Round this replica's live weights to the compute format for the
+		// whole step (every microshard sees the same rounded weights, as in
+		// the serial trainer) and seed each backward with the loss scale.
+		mp.BeginStep()
+		scale = mp.Scale()
+	}
 	for m := mlo; m < mhi; m++ {
 		row := e.gbuf[m]
 		shard := shards[m]
@@ -457,7 +479,7 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64) {
 		tape.Reset()
 		MicroshardRNGInto(rng, e.cfg.Seed, e.step, m)
 		loss := rep.Model.MicrobatchLoss(tape, shard, rng)
-		tape.Backward(loss)
+		tape.BackwardScaled(loss, scale)
 		// Weight by the microshard's share of the global batch so the
 		// reduced vector is the gradient of the global mean loss.
 		wgt := float64(len(shard)) * invB
@@ -472,5 +494,14 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64) {
 	// --- Apply the aggregated gradient once per step ---
 	autograd.ScatterGrads(agg, params)
 	opt.ApplySchedule(rep.Opt, e.cfg.Schedule, e.step)
-	rep.Opt.Step()
+	if mp != nil {
+		// Apply restores the float64 masters, checks the all-reduced
+		// (scaled) gradient for overflow, and unscales before stepping.
+		// Every replica sees the identical aggregated gradient, so every
+		// replica makes the identical skip/backoff/growth decision and the
+		// per-replica scales never diverge.
+		mp.Apply(rep.Opt)
+	} else {
+		rep.Opt.Step()
+	}
 }

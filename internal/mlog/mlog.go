@@ -36,6 +36,12 @@ const (
 	KeySubmission    = "submission_org"
 	KeyStatus        = "status"
 	KeyCache         = "cache_clear"
+	// KeyNumerics records the run's compute regime ("f64", "f32",
+	// "bf16+mp"); KeyVerify records how the run set is verified
+	// ("bitwise" for the float64 reference, "stat" for the §3.3
+	// quantile gate over reduced-precision regimes).
+	KeyNumerics = "numerics_dtype"
+	KeyVerify   = "verification_regime"
 )
 
 // Event is one structured log record.

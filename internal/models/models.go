@@ -10,6 +10,7 @@ package models
 import (
 	"repro/internal/autograd"
 	"repro/internal/opt"
+	"repro/internal/precision"
 )
 
 // Workload is one benchmark instance bound to its dataset, seed, and
@@ -60,5 +61,32 @@ func trainStep(tape *autograd.Tape, params []*autograd.Param, o opt.Optimizer, f
 		postBackward()
 	}
 	o.Step()
+	return loss.Scalar()
+}
+
+// trainStepMP is trainStep under a mixed-precision trainer: the step is
+// bracketed by mp.BeginStep (bf16 master-weight round) and mp.Apply
+// (restore masters, overflow check, unscaled optimizer step), and the
+// backward pass is seeded with the dynamic loss scale. A nil mp delegates
+// to trainStep, so regime-agnostic workloads call this unconditionally.
+func trainStepMP(tape *autograd.Tape, params []*autograd.Param, o opt.Optimizer, mp *precision.MP, forward func(tape *autograd.Tape) *autograd.Var, postBackward func()) float64 {
+	if mp == nil {
+		return trainStep(tape, params, o, forward, postBackward)
+	}
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	if tape == nil {
+		tape = autograd.NewTape()
+	} else {
+		tape.Reset()
+	}
+	mp.BeginStep()
+	loss := forward(tape)
+	tape.BackwardScaled(loss, mp.Scale())
+	if postBackward != nil {
+		postBackward()
+	}
+	mp.Apply(o)
 	return loss.Scalar()
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/precision"
 	"repro/internal/tensor"
 )
 
@@ -54,6 +55,11 @@ type NCFHParams struct {
 	MLPDim   int
 	NegRatio int // negatives sampled per positive during training
 	EvalNegs int // negatives per user in HR@10 evaluation (99 in the paper)
+
+	// Numerics selects the training compute regime (§2.2.3). The zero
+	// value is the full-precision float64 reference path, bit-identical
+	// to pre-numerics behavior. Evaluation always runs in float64.
+	Numerics precision.Numerics
 }
 
 // DefaultNCFHParams is the reference configuration.
@@ -82,6 +88,8 @@ type Recommendation struct {
 	busers  []int
 	bitems  []int
 	blabels []float64
+
+	mp *precision.MP // mixed-precision trainer; nil in non-mixed regimes
 }
 
 // NewRecommendation builds the workload.
@@ -89,7 +97,7 @@ func NewRecommendation(ds *datasets.RecDataset, hp NCFHParams, seed uint64) *Rec
 	rng := tensor.NewRNG(seed)
 	net := NewNCF(ds.Users, ds.Items, hp.GMFDim, hp.MLPDim, rng.Split(1))
 	params := net.Params()
-	return &Recommendation{
+	w := &Recommendation{
 		HP: hp, DS: ds, Net: net,
 		Opt:    opt.NewAdam(params, hp.LR, 0.9, 0.999, 1e-8, 0),
 		params: params,
@@ -97,7 +105,10 @@ func NewRecommendation(ds *datasets.RecDataset, hp NCFHParams, seed uint64) *Rec
 		rng:    rng.Split(3),
 		seed:   seed,
 		tape:   autograd.NewTape(),
+		mp:     hp.Numerics.NewTrainer(params),
 	}
+	w.tape.SetDType(hp.Numerics.Compute)
+	return w
 }
 
 // Name implements Workload.
@@ -117,7 +128,7 @@ func (w *Recommendation) TrainEpoch() float64 {
 		w.busers, w.bitems, w.blabels = w.DS.AppendTrainBatch(
 			w.busers[:0], w.bitems[:0], w.blabels[:0], idx, w.HP.NegRatio, w.rng)
 		users, items, labels := w.busers, w.bitems, w.blabels
-		loss := trainStep(w.tape, w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
+		loss := trainStepMP(w.tape, w.params, w.Opt, w.mp, func(tape *autograd.Tape) *autograd.Var {
 			ctx := nn.NewCtx(tape, true, w.rng)
 			logits := w.Net.Forward(ctx, users, items)
 			return autograd.BCEWithLogits(logits, labels)

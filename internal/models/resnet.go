@@ -124,6 +124,13 @@ type ImageHParams struct {
 	DecayFactor float64
 	// Precision quantizes weights/gradients each step (Figure 1 study).
 	Precision precision.Policy
+	// Numerics selects the training compute regime (§2.2.3); zero value
+	// is the float64 reference. Orthogonal to Precision: Precision
+	// simulates weight storage formats post-hoc, Numerics changes what
+	// the compute itself runs in. Evaluation always runs in float64, and
+	// convolutions stay float64 in every regime (the AMP-style selective
+	// op list: only the MatMul-class ops reduce).
+	Numerics precision.Numerics
 	// Augment enables the random flip/crop/jitter pipeline.
 	Augment bool
 }
@@ -161,6 +168,8 @@ type ImageClassification struct {
 	mbAug   *datasets.Augment
 	bx      *tensor.Tensor
 	blabels []int
+
+	mp *precision.MP // mixed-precision trainer; nil in non-mixed regimes
 }
 
 // imageOptimizer builds the benchmark optimizer for a parameter list.
@@ -191,7 +200,9 @@ func NewImageClassification(ds *datasets.ImageDataset, hp ImageHParams, seed uin
 		loader: data.NewLoader(ds.Cfg.TrainN, hp.Batch, rng.Split(2)),
 		rng:    rng.Split(3),
 		tape:   autograd.NewTape(),
+		mp:     hp.Numerics.NewTrainer(params),
 	}
+	w.tape.SetDType(hp.Numerics.Compute)
 	if hp.Augment {
 		w.augment = &datasets.Augment{Flip: true, CropPad: 1, Jitter: 0.1, RNG: rng.Split(4)}
 	}
@@ -225,7 +236,7 @@ func (w *ImageClassification) TrainEpoch() float64 {
 		w.bx, w.blabels = w.DS.BatchInto(w.bx, w.blabels, true, idx, w.augment)
 		x, labels = w.bx, w.blabels
 		applySchedule(w.Opt, w.Sched, w.steps)
-		loss := trainStep(w.tape, w.params, w.Opt, func(tape *autograd.Tape) *autograd.Var {
+		loss := trainStepMP(w.tape, w.params, w.Opt, w.mp, func(tape *autograd.Tape) *autograd.Var {
 			ctx := nn.NewCtx(tape, true, w.rng)
 			logits := w.Net.Forward(ctx, tape.ConstOf(x))
 			return autograd.SoftmaxCrossEntropy(logits, labels)

@@ -149,6 +149,14 @@ type Config struct {
 	// Arena, when non-nil, is the shared buffer pool the engine draws its
 	// steady-state float buffers from (and returns them to on Close).
 	Arena *arena.Arena
+	// DType selects the tape compute dtype for every stage (§2.2.3); the
+	// zero value is the float64 reference. Reduced dtypes keep the
+	// engine's determinism contract (the microbatch reduction order is
+	// unchanged), but the full mixed-precision recipe (master-weight
+	// rounds + dynamic loss scaling) is a whole-model step bracket and is
+	// not supported across stage shards — use dist or the serial trainers
+	// for the bf16 mixed regime.
+	DType tensor.DType
 }
 
 // Stats counts the engine's communication and compute activity.
@@ -308,6 +316,7 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 			rt.tapes = make([]*autograd.Tape, e.mLocal)
 			for j := range rt.tapes {
 				rt.tapes[j] = autograd.NewTapeIn(rt.local)
+				rt.tapes[j].SetDType(cfg.DType)
 			}
 			rt.ins = make([][]*autograd.Var, e.mLocal)
 			rt.outs = make([][]*autograd.Var, e.mLocal)

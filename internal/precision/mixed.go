@@ -1,0 +1,235 @@
+package precision
+
+// Mixed-precision training à la the paper's §2.2.3 numerics dimension:
+// bf16 compute with fp32 accumulation, float64 master weights, and dynamic
+// loss scaling. The recipe per step:
+//
+//  1. BeginStep — snapshot the float64 master weights, then round the live
+//     parameter values to the compute format (bf16), so the forward pass
+//     sees exactly the weights a reduced-precision accelerator would.
+//  2. Forward + tape.BackwardScaled(loss, mp.Scale()) — the loss gradient
+//     is seeded with the current scale so small gradients stay
+//     representable through the reduced-precision backward products.
+//  3. Apply — restore the master weights, scan the (scaled) gradients for
+//     overflow; on overflow skip the update and halve the scale, otherwise
+//     divide the scale out (exactly — scales are powers of two) and run
+//     the optimizer step against the float64 masters, growing the scale
+//     after GrowthInterval consecutive good steps.
+//
+// Every decision in the loop (overflow, scale value, skip/apply) is a
+// deterministic function of the gradients, so data-parallel replicas that
+// all-reduce identical gradients make identical decisions — the dist
+// engine's bit-identical-across-worker-counts contract survives mixed
+// precision unchanged.
+
+import (
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// MPConfig configures the mixed-precision trainer. Scale, Growth, Backoff,
+// MinScale, and MaxScale must all be powers of two so that scaling and
+// unscaling are exact in binary floating point.
+type MPConfig struct {
+	// Weights is the compute format parameter values are rounded to for
+	// the forward/backward pass (BF16 in the default recipe).
+	Weights Format
+	// InitScale is the starting loss scale.
+	InitScale float64
+	// Growth multiplies the scale after GrowthInterval good steps.
+	Growth float64
+	// Backoff multiplies the scale after an overflow step.
+	Backoff float64
+	// GrowthInterval is the number of consecutive non-overflow steps
+	// before a growth attempt; 0 disables growth.
+	GrowthInterval int
+	// MinScale / MaxScale clamp the dynamic range.
+	MinScale, MaxScale float64
+}
+
+// DefaultMPConfig returns the standard dynamic-loss-scaling recipe:
+// bf16 weights, scale 2¹⁵, double after 200 good steps, halve on
+// overflow, clamped to [1, 2²⁴].
+func DefaultMPConfig() MPConfig {
+	return MPConfig{
+		Weights:        BF16,
+		InitScale:      1 << 15,
+		Growth:         2,
+		Backoff:        0.5,
+		GrowthInterval: 200,
+		MinScale:       1,
+		MaxScale:       1 << 24,
+	}
+}
+
+// MPStats reports the trainer's loss-scaling history.
+type MPStats struct {
+	Scale    float64 // current loss scale
+	Steps    uint64  // applied optimizer steps
+	Skipped  uint64  // steps skipped due to gradient overflow
+	Growths  uint64  // scale increases
+	Backoffs uint64  // scale decreases
+}
+
+// MP drives one model's mixed-precision training loop. It is not
+// goroutine-safe; data-parallel engines hold one MP per replica.
+type MP struct {
+	cfg    MPConfig
+	params []*autograd.Param
+	master [][]float64 // float64 weight snapshot, restored each Apply
+	scale  float64
+	good   int // consecutive non-overflow steps since last scale change
+	stats  MPStats
+}
+
+// NewMP builds a trainer over the given parameters. Zero-valued config
+// fields fall back to DefaultMPConfig.
+func NewMP(params []*autograd.Param, cfg MPConfig) *MP {
+	def := DefaultMPConfig()
+	if cfg.Weights == FP64 {
+		cfg.Weights = def.Weights
+	}
+	if cfg.InitScale == 0 {
+		cfg.InitScale = def.InitScale
+	}
+	if cfg.Growth == 0 {
+		cfg.Growth = def.Growth
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = def.Backoff
+	}
+	if cfg.GrowthInterval == 0 {
+		cfg.GrowthInterval = def.GrowthInterval
+	}
+	if cfg.MinScale == 0 {
+		cfg.MinScale = def.MinScale
+	}
+	if cfg.MaxScale == 0 {
+		cfg.MaxScale = def.MaxScale
+	}
+	mp := &MP{cfg: cfg, params: params, scale: cfg.InitScale}
+	mp.master = make([][]float64, len(params))
+	for i, p := range params {
+		mp.master[i] = make([]float64, p.Value.Size())
+	}
+	return mp
+}
+
+// Scale returns the current loss scale — the seed for
+// Tape.BackwardScaled.
+func (mp *MP) Scale() float64 { return mp.scale }
+
+// Stats returns the loss-scaling history.
+func (mp *MP) Stats() MPStats {
+	s := mp.stats
+	s.Scale = mp.scale
+	return s
+}
+
+// BeginStep snapshots the float64 master weights and rounds the live
+// parameter values to the compute format, so the forward/backward pass
+// runs against reduced-precision weights. Must be paired with Apply.
+func (mp *MP) BeginStep() {
+	for i, p := range mp.params {
+		copy(mp.master[i], p.Value.Data)
+		QuantizeSlice(p.Value.Data, mp.cfg.Weights)
+	}
+}
+
+// Apply finishes the step BeginStep opened: restores the master weights,
+// then either applies the optimizer update with the scale divided out of
+// the gradients (returning true), or — when any gradient overflowed to
+// NaN/Inf — skips the update and backs the scale off (returning false).
+// The caller's gradients are expected to be scaled by Scale() (via
+// BackwardScaled); they are left unscaled after a successful Apply when
+// the optimizer does not implement opt.GradScaled, and untouched when it
+// does.
+func (mp *MP) Apply(o opt.Optimizer) bool {
+	for i, p := range mp.params {
+		copy(p.Value.Data, mp.master[i])
+	}
+	if mp.overflowed() {
+		mp.good = 0
+		if s := mp.scale * mp.cfg.Backoff; s >= mp.cfg.MinScale {
+			mp.scale = s
+			mp.stats.Backoffs++
+		}
+		mp.stats.Skipped++
+		return false
+	}
+	inv := 1 / mp.scale // power of two: exact
+	if gs, ok := o.(opt.GradScaled); ok {
+		gs.SetGradInvScale(inv)
+		o.Step()
+		gs.SetGradInvScale(1)
+	} else {
+		for _, p := range mp.params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= inv
+			}
+		}
+		o.Step()
+	}
+	mp.stats.Steps++
+	mp.good++
+	if mp.cfg.GrowthInterval > 0 && mp.good >= mp.cfg.GrowthInterval {
+		if s := mp.scale * mp.cfg.Growth; s <= mp.cfg.MaxScale {
+			mp.scale = s
+			mp.stats.Growths++
+		}
+		mp.good = 0
+	}
+	return true
+}
+
+// overflowed reports whether any accumulated gradient is NaN or Inf — the
+// dynamic-loss-scaling overflow signal.
+func (mp *MP) overflowed() bool {
+	for _, p := range mp.params {
+		for _, g := range p.Grad.Data {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Numerics bundles one training run's numeric regime: the tape compute
+// dtype plus, when Mixed is set, the mixed-precision recipe layered on
+// top. The zero value is the full-precision float64 reference regime.
+type Numerics struct {
+	// Compute is the tape dtype for the MatMul-class ops.
+	Compute tensor.DType
+	// Mixed enables master-weight rounds + dynamic loss scaling.
+	Mixed bool
+	// MP configures the trainer when Mixed is set; zero fields default.
+	MP MPConfig
+}
+
+// NumericsFor maps a -dtype flag value to its standard regime: f64 → the
+// bitwise reference, f32 → reduced compute only (f32 is wide enough to
+// train these models without loss scaling), bf16 → reduced compute plus
+// the full mixed-precision recipe.
+func NumericsFor(d tensor.DType) Numerics {
+	switch d {
+	case tensor.Float32:
+		return Numerics{Compute: tensor.Float32}
+	case tensor.BFloat16:
+		return Numerics{Compute: tensor.BFloat16, Mixed: true, MP: DefaultMPConfig()}
+	}
+	return Numerics{}
+}
+
+// NewTrainer returns the MP trainer for this regime, or nil when the
+// regime is not mixed — callers treat a nil trainer as the plain
+// ZeroGrad/Backward/Step loop.
+func (n Numerics) NewTrainer(params []*autograd.Param) *MP {
+	if !n.Mixed {
+		return nil
+	}
+	return NewMP(params, n.MP)
+}

@@ -1,0 +1,58 @@
+package tensor
+
+import "fmt"
+
+// DType names a compute regime for the numeric stack. It selects the
+// element type and rounding the MatMul-class ops run in — not the storage
+// type of Tensor, which stays float64 everywhere so that parameters,
+// gradients, and optimizer state keep full-precision accumulation (the
+// "master weights" of a mixed-precision recipe).
+//
+//	Float64  — the reference regime: every op in float64, verified bitwise.
+//	Float32  — operands narrowed to float32, products and sums accumulated
+//	           in float32 inside the GEMM engine, results widened back.
+//	BFloat16 — operands additionally rounded to bfloat16 precision (8-bit
+//	           exponent, 7-bit mantissa, round-to-nearest-even) before the
+//	           multiply; accumulation stays float32 — the paper's §2.2.3
+//	           "bf16 with fp32 accumulation" numerics.
+//
+// Both reduced regimes are deterministic (same bits for the same inputs at
+// any worker count — the f32 engine keeps the ascending-k contract) but
+// not bit-equal to Float64; they are verified statistically
+// (core.StatCheck).
+type DType uint8
+
+const (
+	// Float64 must be the zero value: a zero RunConfig/HParams/Tape
+	// selects the full-precision reference regime and all pre-numerics
+	// behavior is unchanged.
+	Float64 DType = iota
+	Float32
+	BFloat16
+)
+
+// String returns the flag-style name (-dtype values of cmd/mlperf).
+func (d DType) String() string {
+	switch d {
+	case Float64:
+		return "f64"
+	case Float32:
+		return "f32"
+	case BFloat16:
+		return "bf16"
+	}
+	return fmt.Sprintf("DType(%d)", uint8(d))
+}
+
+// ParseDType parses a flag-style name ("f64", "f32", "bf16").
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "f64", "fp64", "float64":
+		return Float64, nil
+	case "f32", "fp32", "float32":
+		return Float32, nil
+	case "bf16", "bfloat16":
+		return BFloat16, nil
+	}
+	return Float64, fmt.Errorf("tensor: unknown dtype %q (want f64, f32, or bf16)", s)
+}

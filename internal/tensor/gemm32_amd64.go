@@ -1,0 +1,22 @@
+//go:build amd64
+
+package tensor
+
+// amd64 backend of the float32 GEMM micro-kernel: an AVX2 8×8 tile kernel
+// (gemm32_amd64.s) holding the C tile in eight YMM accumulators, eight
+// float32 lanes each — double the elements per vector of the float64
+// kernel, same register budget. Lanes map to distinct output columns and
+// each depth step performs a separate VMULPS then VADDPS per row — the
+// identical IEEE-754 operation sequence to the scalar kernels, so results
+// are bit-for-bit the same as microKernel8x8F32 and the naive float32
+// reference. No FMA, for the same reason as the f64 kernel.
+//
+// Gated by the shared gemmUseAsm flag (AVX2 detection in gemm_amd64.go).
+
+// microKernel8x8AVX2F32 accumulates the 8×8 C tile at c (row stride ldc
+// elements) over kc depth steps of the packed panels ap ([kc][8]) and
+// bp ([kc][8]). When first is true the accumulators start at zero;
+// otherwise they load the current C values. kc must be >= 1.
+//
+//go:noescape
+func microKernel8x8AVX2F32(c *float32, ldc int, ap, bp *float32, kc int, first bool)

@@ -1,0 +1,112 @@
+// AVX2 8x8 float32 GEMM micro-kernel. See gemm32_amd64.go for the
+// contract and gemm32.go / gemm.go for the determinism rationale
+// (separate VMULPS + VADDPS per depth step — never FMA — so every lane
+// reproduces the scalar kernels' rounding exactly).
+
+#include "textflag.h"
+
+// func microKernel8x8AVX2F32(c *float32, ldc int, ap, bp *float32, kc int, first bool)
+//
+// Register plan:
+//   Y0..Y7  — the 8x8 C tile: Y(r) = row r, eight float32 lanes
+//   Y8      — the current depth step's eight B values
+//   Y9      — broadcast A value for the current row
+//   Y10     — product temporary (mul then add; no FMA)
+TEXT ·microKernel8x8AVX2F32(SB), NOSPLIT, $0-41
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	SHLQ $2, SI            // row stride in bytes (float32)
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVBQZX first+40(FP), DX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	TESTQ DX, DX
+	JNZ   loop             // first panel: accumulators start at zero
+
+	// Later panels: load the current C tile so each element continues its
+	// ascending-k accumulation exactly where the previous panel left off.
+	MOVQ    DI, R8
+	VMOVUPS (R8), Y0
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y1
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y2
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y3
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y4
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y5
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y6
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y7
+
+loop:
+	VMOVUPS (BX), Y8       // B cols 0..7
+
+	VBROADCASTSS (AX), Y9  // A row 0
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y0, Y0
+
+	VBROADCASTSS 4(AX), Y9 // A row 1
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y1, Y1
+
+	VBROADCASTSS 8(AX), Y9 // A row 2
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y2, Y2
+
+	VBROADCASTSS 12(AX), Y9 // A row 3
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y3, Y3
+
+	VBROADCASTSS 16(AX), Y9 // A row 4
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y4, Y4
+
+	VBROADCASTSS 20(AX), Y9 // A row 5
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y5, Y5
+
+	VBROADCASTSS 24(AX), Y9 // A row 6
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y6, Y6
+
+	VBROADCASTSS 28(AX), Y9 // A row 7
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y7, Y7
+
+	ADDQ $32, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+
+	VMOVUPS Y0, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y1, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y2, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y3, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y4, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y5, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y6, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y7, (DI)
+
+	VZEROUPPER
+	RET

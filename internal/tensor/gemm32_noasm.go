@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 architectures run the portable register-tiled micro-kernel
+// (microKernel8x8F32 in gemm32.go); see gemm_noasm.go.
+
+func microKernel8x8AVX2F32(c *float32, ldc int, ap, bp *float32, kc int, first bool) {
+	panic("tensor: assembly GEMM micro-kernel unavailable on this architecture")
+}

@@ -1,0 +1,283 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Tests for the float32 engine mirror gemm_test.go: the blocked path is
+// held bit-identical to the naive MatMulF32*Rows reference across
+// adversarial shapes, variants, worker counts, and both micro-kernel
+// backends — the reduced-precision regimes keep the full determinism
+// contract, they just aren't bit-equal to the float64 engine.
+
+// operandsF32 converts the f64 operand generator's output (signs,
+// magnitudes, exact and negative zeros) to float32.
+func operandsF32(v gemmVariant, rng *RNG, n, k, m int) (*F32, *F32) {
+	a64, b64 := operands(v, rng, n, k, m)
+	a := NewF32(a64.Shape...)
+	b := NewF32(b64.Shape...)
+	a.FromF64(a64, Float32)
+	b.FromF64(b64, Float32)
+	return a, b
+}
+
+func naiveRefF32(v gemmVariant, a, b *F32) *F32 {
+	var n, m int
+	switch v {
+	case gemmNN:
+		n, m = a.Shape[0], b.Shape[1]
+	case gemmTA:
+		n, m = a.Shape[1], b.Shape[1]
+	default:
+		n, m = a.Shape[0], b.Shape[0]
+	}
+	c := NewF32(n, m)
+	gemm32NaiveRows(v, c, a, b, 0, n)
+	return c
+}
+
+func engineCallF32(v gemmVariant, a, b *F32) *F32 {
+	var n, m int
+	switch v {
+	case gemmNN:
+		n, m = a.Shape[0], b.Shape[1]
+	case gemmTA:
+		n, m = a.Shape[1], b.Shape[1]
+	default:
+		n, m = a.Shape[0], b.Shape[0]
+	}
+	c := NewF32(n, m)
+	switch v {
+	case gemmNN:
+		MatMulF32Into(c, a, b)
+	case gemmTA:
+		MatMulF32TransAInto(c, a, b)
+	default:
+		MatMulF32TransBInto(c, a, b)
+	}
+	return c
+}
+
+func sameBitsF32(t *testing.T, label string, workers int, a, b *F32) {
+	t.Helper()
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("%s workers=%d: size %d vs %d", label, workers, len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			t.Fatalf("%s workers=%d: element %d differs: %v vs %v (serial)",
+				label, workers, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// gemm32ParityShapes adapts the f64 adversarial shape list to the f32
+// engine's tile boundaries: the register tile is 8×8 (vs 4×8), so the ±1
+// probes sit around 8, the L2 block (64), and the k-panel (256).
+var gemm32ParityShapes = [][3]int{
+	{0, 5, 7}, {5, 0, 7}, {5, 7, 0}, {1, 1, 1},
+	{3, 5, 7}, {7, 9, 9}, {8, 8, 8}, {9, 9, 9},
+	{7, 13, 11}, {8, 16, 8}, {9, 17, 7}, {13, 29, 23},
+	{31, 31, 31}, {32, 32, 32}, {33, 33, 33},
+	{63, 64, 65}, {65, 64, 63}, {64, 64, 64},
+	{16, 255, 16}, {16, 256, 16}, {16, 257, 16},
+	{128, 8, 8}, {256, 16, 4}, // tall-skinny
+	{4, 16, 256}, {8, 8, 128}, // short-wide
+	{1, 64, 64}, {64, 1, 64}, {64, 64, 1},
+}
+
+// TestGEMMF32ParityExhaustive holds the blocked f32 engine bit-identical
+// to the naive f32 reference across shapes, variants, and worker counts.
+func TestGEMMF32ParityExhaustive(t *testing.T) {
+	for _, vc := range gemmVariants {
+		rng := NewRNG(41)
+		for _, sh := range gemm32ParityShapes {
+			n, k, m := sh[0], sh[1], sh[2]
+			a, b := operandsF32(vc.v, rng, n, k, m)
+			want := naiveRefF32(vc.v, a, b)
+			for _, w := range []int{1, 2, 4, 8} {
+				withWorkers(t, w, func() {
+					got := engineCallF32(vc.v, a, b)
+					sameBitsF32(t, "f32/"+vc.name, w, got, want)
+				})
+			}
+		}
+	}
+}
+
+// TestGEMMF32TileForcedPacked drives gemm32Tile directly so the packed
+// path and edge micro-kernels run at dims the dispatcher would route to
+// the naive kernels, including interior tiles of a larger output.
+func TestGEMMF32TileForcedPacked(t *testing.T) {
+	for _, vc := range gemmVariants {
+		rng := NewRNG(43)
+		for _, sh := range [][3]int{
+			{1, 1, 1}, {1, 3, 9}, {2, 5, 8}, {3, 2, 7}, {7, 1, 8},
+			{5, 300, 11}, {6, 17, 19}, {11, 23, 29}, {8, 8, 8},
+		} {
+			n, k, m := sh[0], sh[1], sh[2]
+			a, b := operandsF32(vc.v, rng, n, k, m)
+			want := naiveRefF32(vc.v, a, b)
+			got := NewF32(n, m)
+			gemm32Tile(vc.v, got, a, b, k, 0, n, 0, m)
+			sameBitsF32(t, "f32/"+vc.name+"/forced", 1, got, want)
+
+			if n >= 3 && m >= 3 {
+				part := NewF32(n, m)
+				for i := range part.Data {
+					part.Data[i] = math.Pi
+				}
+				r0, r1, c0, c1 := 1, n-1, 1, m-1
+				gemm32Tile(vc.v, part, a, b, k, r0, r1, c0, c1)
+				for i := 0; i < n; i++ {
+					for j := 0; j < m; j++ {
+						in := i >= r0 && i < r1 && j >= c0 && j < c1
+						want1 := float32(math.Pi)
+						if in {
+							want1 = want.Data[i*m+j]
+						}
+						if math.Float32bits(part.Data[i*m+j]) != math.Float32bits(want1) {
+							t.Fatalf("f32/%s tile (%d,%d): got %v want %v",
+								vc.name, i, j, part.Data[i*m+j], want1)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGEMMF32PortableKernelParity pins the portable Go micro-kernel to
+// the same bits as the naive reference; on AVX2 machines the other tests
+// cover the assembly kernel, so together they hold both backends to one
+// bit pattern.
+func TestGEMMF32PortableKernelParity(t *testing.T) {
+	old := gemmUseAsm
+	gemmUseAsm = false
+	defer func() { gemmUseAsm = old }()
+	for _, vc := range gemmVariants {
+		rng := NewRNG(47)
+		for _, sh := range [][3]int{{64, 64, 64}, {33, 257, 41}, {128, 16, 24}} {
+			n, k, m := sh[0], sh[1], sh[2]
+			a, b := operandsF32(vc.v, rng, n, k, m)
+			want := naiveRefF32(vc.v, a, b)
+			got := NewF32(n, m)
+			gemm32Tile(vc.v, got, a, b, k, 0, n, 0, m)
+			sameBitsF32(t, "f32/"+vc.name+"/portable", 1, got, want)
+		}
+	}
+}
+
+// TestMatMulF32IntoAllocFree asserts the warm steady-state contract at 1
+// worker: pack buffers come from the f32 arena and the serial dispatch
+// builds no closures.
+func TestMatMulF32IntoAllocFree(t *testing.T) {
+	old := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(old)
+
+	rng := NewRNG(59)
+	for _, sh := range [][3]int{{64, 64, 64}, {8, 8, 8}} {
+		n, k, m := sh[0], sh[1], sh[2]
+		a, _ := operandsF32(gemmNN, rng, n, k, m)
+		_, b := operandsF32(gemmNN, rng, n, k, m)
+		ta, _ := operandsF32(gemmTA, rng, n, k, m)
+		_, tb := operandsF32(gemmTB, rng, n, k, m)
+		c := NewF32(n, m)
+		MatMulF32Into(c, a, b) // warm the pack-buffer pool
+		if allocs := testing.AllocsPerRun(20, func() {
+			MatMulF32Into(c, a, b)
+			MatMulF32TransAInto(c, ta, b)
+			MatMulF32TransBInto(c, a, tb)
+		}); allocs != 0 {
+			t.Errorf("warm MatMulF32*Into at shape %v allocates %v per run, want 0", sh, allocs)
+		}
+	}
+}
+
+// TestBF16Round pins the rounding semantics the BFloat16 regime stages
+// operands through: round to nearest even on the 16 discarded mantissa
+// bits, exponent untouched, NaN/Inf/zero passthrough.
+func TestBF16Round(t *testing.T) {
+	bits := func(hi uint16) float32 { return math.Float32frombits(uint32(hi) << 16) }
+	cases := []struct {
+		name string
+		in   uint32 // float32 bits
+		want uint32
+	}{
+		// 1.0 + below-half fraction rounds down; above-half rounds up.
+		{"below-half", 0x3F800000 | 0x7FFF, 0x3F800000},
+		{"above-half", 0x3F800000 | 0x8001, 0x3F810000},
+		// Ties go to even: keep-bit 0 stays, keep-bit 1 rounds up.
+		{"tie-even", 0x3F800000 | 0x8000, 0x3F800000},
+		{"tie-odd", 0x3F810000 | 0x8000, 0x3F820000},
+		// Mantissa carry propagates into the exponent: 2-ulp-below-2.0
+		// rounds to exactly 2.0.
+		{"carry", 0x3FFFFFFF, 0x40000000},
+		// Signs survive, including -0.
+		{"neg", 0xBF800000 | 0x8001, 0xBF810000},
+		{"neg-zero", 0x80000000, 0x80000000},
+		// Subnormal float32s round within the field like any value.
+		{"subnormal", 0x00008000, 0x00000000},
+		{"subnormal-up", 0x00018000, 0x00020000},
+	}
+	for _, c := range cases {
+		got := BF16Round(math.Float32frombits(c.in))
+		if math.Float32bits(got) != c.want {
+			t.Errorf("%s: BF16Round(%08x) = %08x, want %08x",
+				c.name, c.in, math.Float32bits(got), c.want)
+		}
+	}
+	// NaN and Inf pass through (NaN-ness preserved; Inf exact).
+	if !math.IsNaN(float64(BF16Round(float32(math.NaN())))) {
+		t.Error("BF16Round(NaN) must stay NaN")
+	}
+	for _, s := range []float32{float32(math.Inf(1)), float32(math.Inf(-1))} {
+		if BF16Round(s) != s {
+			t.Errorf("BF16Round(%v) must pass through", s)
+		}
+	}
+	// Values already at bf16 precision are fixed points.
+	for _, hi := range []uint16{0x3F80, 0xC000, 0x0001, 0x7F7F} {
+		v := bits(hi)
+		if BF16Round(v) != v {
+			t.Errorf("BF16Round(%v) must be a fixed point", v)
+		}
+	}
+}
+
+// TestF32Conversions covers the staging round trip: FromF64 under both
+// reduced regimes, exact widening back, and f64 accumulation.
+func TestF32Conversions(t *testing.T) {
+	src := FromSlice([]float64{1.5, -2.25, 1e-40, 3.14159265358979, 0}, 5)
+	f := NewF32(5)
+	f.FromF64(src, Float32)
+	for i, v := range src.Data {
+		if f.Data[i] != float32(v) {
+			t.Fatalf("Float32 staging elem %d: %v != %v", i, f.Data[i], float32(v))
+		}
+	}
+	f.FromF64(src, BFloat16)
+	for i, v := range src.Data {
+		if want := BF16Round(float32(v)); f.Data[i] != want {
+			t.Fatalf("BFloat16 staging elem %d: %v != %v", i, f.Data[i], want)
+		}
+	}
+
+	dst := New(5)
+	f.CopyToF64(dst)
+	for i, v := range f.Data {
+		if dst.Data[i] != float64(v) {
+			t.Fatalf("CopyToF64 elem %d: %v != %v", i, dst.Data[i], float64(v))
+		}
+	}
+	f.AddToF64(dst) // dst = 2v exactly (widening is exact, v+v exact in f64)
+	for i, v := range f.Data {
+		if dst.Data[i] != 2*float64(v) {
+			t.Fatalf("AddToF64 elem %d: %v != %v", i, dst.Data[i], 2*float64(v))
+		}
+	}
+}

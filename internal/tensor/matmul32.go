@@ -1,0 +1,107 @@
+package tensor
+
+import "fmt"
+
+// Float32 counterparts of the MatMul*Into entry points and MatMul*Rows
+// reference kernels, with float32 accumulation throughout — the compute
+// core of the reduced-precision regimes (F32 operands, or bf16-rounded
+// operands under BF16; either way products and sums stay in float32, the
+// paper's §2.2.3 "fp32 accumulation"). Semantics mirror the float64
+// kernels: every term is computed and accumulated in ascending-k order,
+// the blocked engine (gemm32.go) is held bit-identical to these reference
+// kernels on finite inputs, and the worker count never changes the bits.
+
+// MatMulF32Into writes a·b into c for a [n,k] and b [k,m]; c must be
+// [n, m] and must not alias a or b.
+func MatMulF32Into(c, a, b *F32) {
+	n, k := a.Shape[0], a.Shape[1]
+	m := b.Shape[1]
+	if c.Shape[0] != n || c.Shape[1] != m || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulF32Into shape mismatch %v = %v x %v", c.Shape, a.Shape, b.Shape))
+	}
+	gemm32Into(gemmNN, c, a, b, n, k, m)
+}
+
+// MatMulF32TransAInto writes aᵀ·b into c for a [k,n] and b [k,m] (the
+// dW = xᵀ·dy backward product); c must be [n, m] and must not alias a or b.
+func MatMulF32TransAInto(c, a, b *F32) {
+	k, n := a.Shape[0], a.Shape[1]
+	m := b.Shape[1]
+	if c.Shape[0] != n || c.Shape[1] != m || k != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulF32TransAInto shape mismatch %v = %vᵀ x %v", c.Shape, a.Shape, b.Shape))
+	}
+	gemm32Into(gemmTA, c, a, b, n, k, m)
+}
+
+// MatMulF32TransBInto writes a·bᵀ into c for a [n,k] and b [m,k] (the
+// dx = dy·Wᵀ backward product); c must be [n, m] and must not alias a or b.
+func MatMulF32TransBInto(c, a, b *F32) {
+	n, k := a.Shape[0], a.Shape[1]
+	m := b.Shape[0]
+	if c.Shape[0] != n || c.Shape[1] != m || k != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulF32TransBInto shape mismatch %v = %v x %vᵀ", c.Shape, a.Shape, b.Shape))
+	}
+	gemm32Into(gemmTB, c, a, b, n, k, m)
+}
+
+// MatMulF32Rows computes output rows [lo, hi) of c = a·b, zeroing them
+// first — the naive float32 reference kernel the engine is held to.
+func MatMulF32Rows(c, a, b *F32, lo, hi int) {
+	k, m := a.Shape[1], b.Shape[1]
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*m : (i+1)*m]
+		for j := range cr {
+			cr[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			br := b.Data[p*m : (p+1)*m]
+			for j, bv := range br {
+				cr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulF32TransARows computes output rows [lo, hi) of c = aᵀ·b, zeroing
+// them first.
+func MatMulF32TransARows(c, a, b *F32, lo, hi int) {
+	k, n := a.Shape[0], a.Shape[1]
+	m := b.Shape[1]
+	for i := lo; i < hi; i++ {
+		cr := c.Data[i*m : (i+1)*m]
+		for j := range cr {
+			cr[j] = 0
+		}
+	}
+	for p := 0; p < k; p++ {
+		ar := a.Data[p*n : (p+1)*n]
+		br := b.Data[p*m : (p+1)*m]
+		for i := lo; i < hi; i++ {
+			av := ar[i]
+			cr := c.Data[i*m : (i+1)*m]
+			for j, bv := range br {
+				cr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulF32TransBRows computes output rows [lo, hi) of c = a·bᵀ. Every
+// output element is fully overwritten, so no zeroing is needed.
+func MatMulF32TransBRows(c, a, b *F32, lo, hi int) {
+	k, m := a.Shape[1], b.Shape[0]
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			s := float32(0)
+			for p := 0; p < k; p++ {
+				s += ar[p] * br[p]
+			}
+			cr[j] = s
+		}
+	}
+}
