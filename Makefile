@@ -2,7 +2,7 @@ GO ?= go
 
 BENCH_SMOKE_OUT ?= bench-smoke.out
 
-.PHONY: all ci check fmt vet staticcheck build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32
+.PHONY: all ci check fmt vet staticcheck lint build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32
 
 all: check
 
@@ -10,8 +10,9 @@ all: check
 # with exactly `make ci` (the workflow jobs call these same targets).
 ci: check race bench-smoke smoke-f32
 
-# The fast gate: formatting, static checks, a full build, and the fast tests.
-check: fmt vet staticcheck build test-short
+# The fast gate: formatting, static checks (incl. the repo's own analyzer
+# suite), a full build, and the fast tests.
+check: fmt vet staticcheck lint build test-short
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,6 +29,13 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
 	fi
+
+# The repo's own analyzer suite (internal/analysis, driven by
+# cmd/mlperf-vet): determinism (no wall clock/global rand/FMA/unordered
+# map ranges), arena acquire/release ownership, //mlperfvet:hotpath
+# allocation-freedom, MLLOG compliance keys, and fork-join pool re-entry.
+lint:
+	$(GO) run ./cmd/mlperf-vet ./...
 
 build:
 	$(GO) build ./...

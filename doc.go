@@ -51,8 +51,17 @@
 //	                      bit-identical across stages/schedules/workers)
 //	internal/goboard    — Go engine; internal/mcts — self-play search
 //	internal/mlog       — MLLOG structured logging
+//	internal/clock      — injectable clocks (Real wall clock, Tick, Sim);
+//	                      the only package allowed to call time.Now, so
+//	                      every timing path is deterministic under test
 //	internal/cluster    — simulated scale-out (Figures 4–5)
 //	internal/submission — §4 divisions, categories, review, reporting
+//	internal/analysis   — the mlperf-vet analyzer suite (detlint,
+//	                      arenalint, hotpath, mloglint, nestpar):
+//	                      mechanical enforcement of the determinism,
+//	                      arena-ownership, hot-path-allocation, MLLOG-key,
+//	                      and pool-re-entry invariants; driven by
+//	                      cmd/mlperf-vet (make lint, gated in CI)
 //
 // The benchmarks in bench_test.go regenerate every table and figure; see
 // DESIGN.md and EXPERIMENTS.md.

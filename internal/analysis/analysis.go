@@ -1,0 +1,216 @@
+// Package analysis is the repo's custom static-analyzer suite: a
+// zero-dependency driver (stdlib go/parser + go/types only; packages are
+// discovered with `go list -json`) plus five repo-specific analyzers that
+// mechanically enforce the invariants the paper's §3 verification story
+// rests on — invariants that otherwise live only in comments and reviewer
+// memory:
+//
+//   - detlint: no wall-clock reads outside internal/clock, no global
+//     math/rand, no math.FMA, no unordered range-over-map in the numeric
+//     and logging packages — the determinism substrate behind the repo's
+//     bit-identical-across-worker-counts contract.
+//   - arenalint: every arena.Get/GetRaw, tensor.NewIn, and
+//     autograd.NewTapeIn acquire is matched by a Put/Release in the same
+//     function, or escapes through a site annotated //mlperfvet:owns —
+//     the 0-allocs/op steady state depends on pooled buffers actually
+//     coming back.
+//   - hotpath: functions annotated //mlperfvet:hotpath (the warm
+//     step/replay/GEMM/ring paths) contain no allocating constructs —
+//     the static complement of the bench-smoke 0 allocs/op gate.
+//   - mloglint: MLLOG emits pass mlog.Key* constants from the compliance
+//     key set, never raw or computed strings.
+//   - nestpar: bodies handed to parallel.For/ForCost/ForTiles never
+//     re-enter the fork-join pool (intra-package call-graph check).
+//
+// The driver reports findings as file:line:col diagnostics (or JSON via
+// cmd/mlperf-vet -json). A finding is suppressed by a
+// "//mlperfvet:ignore <analyzer>..." comment on the same line or the line
+// above; a bare "//mlperfvet:ignore" suppresses every analyzer there.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mlperfvet:ignore comments.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All is the full suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detlint, Arenalint, Hotpath, Mloglint, Nestpar}
+}
+
+// A Diagnostic is one finding: an analyzer name, a resolved source
+// position, and a message.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the go-vet-style "file:line:col: message (analyzer)" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// A Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignorePrefix introduces every directive comment the suite understands:
+// "//mlperfvet:ignore [names]", "//mlperfvet:hotpath", "//mlperfvet:owns".
+const directivePrefix = "mlperfvet:"
+
+// directive splits a comment into its mlperfvet directive verb and
+// arguments ("", nil when the comment is not a directive). Both plain and
+// doc-comment positions are honored.
+func directive(c *ast.Comment) (verb string, args []string) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", nil
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+	if len(fields) == 0 {
+		return "", nil
+	}
+	return fields[0], fields[1:]
+}
+
+// groupHasDirective reports whether any comment in the group carries the
+// given mlperfvet directive verb (e.g. "hotpath").
+func groupHasDirective(g *ast.CommentGroup, verb string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if v, _ := directive(c); v == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines returns, per file of the package, the set of lines
+// carrying the given directive verb. A directive "applies" to a source
+// position when it sits on the same line or the line directly above —
+// the convention shared by //mlperfvet:ignore and //mlperfvet:owns.
+func (pkg *Package) directiveLines(verb string) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				v, args := directive(c)
+				if v != verb {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], args...)
+				// A directive with no arguments still needs an entry.
+				if len(args) == 0 {
+					m[pos.Line] = append(m[pos.Line], "")
+				}
+			}
+		}
+	}
+	return out
+}
+
+// annotatedAt reports whether a directive verb covers the given position
+// (same line or the line above).
+func (pkg *Package) annotatedAt(lines map[string]map[int][]string, pos token.Pos) bool {
+	p := pkg.Fset.Position(pos)
+	m := lines[p.Filename]
+	if m == nil {
+		return false
+	}
+	return len(m[p.Line]) > 0 || len(m[p.Line-1]) > 0
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics, sorted by position. Findings covered by an
+// //mlperfvet:ignore directive (same line or the line above; either the
+// bare form or one naming the analyzer) are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		ignores := pkg.directiveLines("ignore")
+		for _, d := range pkgDiags {
+			if suppressed(ignores, d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppressed reports whether an ignore directive on the finding's line or
+// the line above covers the finding's analyzer.
+func suppressed(ignores map[string]map[int][]string, d Diagnostic) bool {
+	m := ignores[d.File]
+	if m == nil {
+		return false
+	}
+	for _, names := range [][]string{m[d.Line], m[d.Line-1]} {
+		for _, name := range names {
+			if name == "" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden tree under testdata/src: fake support packages first (in
+// dependency order, at paths the analyzers' suffix matching recognizes),
+// then one deliberately-violating package per analyzer. Expected
+// findings are encoded in the violating sources as `// want "regex"`
+// comments on the offending lines.
+var (
+	supportPaths = []string{
+		"internal/arena",
+		"internal/tensor",
+		"internal/autograd",
+		"internal/mlog",
+		"internal/parallel",
+	}
+	goldenCases = []struct {
+		path     string
+		analyzer string
+	}{
+		{"detbad", "detlint"},
+		{"arenabad", "arenalint"},
+		{"hotbad", "hotpath"},
+		{"mlogbad", "mloglint"},
+		{"nestbad", "nestpar"},
+	}
+)
+
+// loadGolden type-checks the whole golden tree once per test binary.
+var loadGolden = sync.OnceValues(func() (map[string]*Package, error) {
+	paths := append([]string{}, supportPaths...)
+	for _, c := range goldenCases {
+		paths = append(paths, c.path)
+	}
+	pkgs, err := LoadTree("testdata/src", paths)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	return byPath, nil
+})
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+
+// parseWants extracts the `// want "regex" ["regex" ...]` expectations
+// from a package's source files, keyed by the line they sit on.
+func parseWants(t *testing.T, pkg *Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			k := wantKey{name, i + 1}
+			for _, m := range wantArgRe.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, m[1], err)
+				}
+				out[k] = append(out[k], re)
+			}
+		}
+	}
+	return out
+}
+
+// TestGolden checks every violating package produces exactly the
+// findings its want comments promise — same file, same line, matching
+// message, right analyzer — and nothing else. The clean functions in
+// each package (sanctioned idioms, annotated transfers, ignore
+// directives) double as false-positive regression cases: any finding on
+// a line without a want comment fails the test.
+func TestGolden(t *testing.T) {
+	pkgs, err := loadGolden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCases {
+		t.Run(c.path, func(t *testing.T) {
+			pkg := pkgs[c.path]
+			wants := parseWants(t, pkg)
+			for _, d := range Run([]*Package{pkg}, All()) {
+				if d.Analyzer != c.analyzer {
+					t.Errorf("diagnostic from %s in %s's golden package: %s", d.Analyzer, c.analyzer, d)
+				}
+				k := wantKey{d.File, d.Line}
+				matched := false
+				for i, re := range wants[k] {
+					if re.MatchString(d.Message) {
+						wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for k, res := range wants {
+				for _, re := range res {
+					t.Errorf("%s:%d: expected a diagnostic matching %q, got none", k.file, k.line, re)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteFailsWithoutAnalyzer proves every rule is load-bearing: each
+// golden package trips the full suite, and removing just that package's
+// analyzer makes the suite (wrongly) pass — so no other analyzer masks
+// a disabled one.
+func TestSuiteFailsWithoutAnalyzer(t *testing.T) {
+	pkgs, err := loadGolden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCases {
+		t.Run(c.analyzer, func(t *testing.T) {
+			pkg := pkgs[c.path]
+			if diags := Run([]*Package{pkg}, All()); len(diags) == 0 {
+				t.Fatalf("full suite found nothing in %s", c.path)
+			}
+			var rest []*Analyzer
+			for _, a := range All() {
+				if a.Name != c.analyzer {
+					rest = append(rest, a)
+				}
+			}
+			for _, d := range Run([]*Package{pkg}, rest) {
+				t.Errorf("suite without %s still reports in %s: %s", c.analyzer, c.path, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Arenalint guards the pooled-buffer discipline the 0-allocs/op steady
+// state rests on: a buffer acquired from an arena (arena.Get / GetRaw on
+// a pool, local, or allocator interface), an arena-backed tensor
+// (tensor.NewIn), or an arena-backed tape (autograd.NewTapeIn) must be
+// visible coming back — a Put / Release / ReleaseBuffers / Flush
+// reachable in the same function — or visibly transfer ownership: escape
+// through a return, store, or call hand-off annotated //mlperfvet:owns
+// on that line (or the line above). An acquire with neither is a leak
+// back to the garbage collector, exactly the regression that silently
+// re-grows per-step allocations.
+//
+// The check is function-local and syntactic: a release anywhere in the
+// function (any path, including defers and closures) satisfies it.
+// The arena package itself (the pool implementation) is exempt.
+var Arenalint = &Analyzer{
+	Name: "arenalint",
+	Doc:  "every arena acquire must be released in-function or escape through a //mlperfvet:owns site",
+	Run:  runArenalint,
+}
+
+// acquireName labels an acquire call site, or "" if the call is not one.
+func acquireName(info *types.Info, call *ast.CallExpr) string {
+	fn := callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	switch {
+	case pkgIs(fn.Pkg(), "internal/arena") && (fn.Name() == "Get" || fn.Name() == "GetRaw"):
+		return "arena." + fn.Name()
+	case pkgIs(fn.Pkg(), "internal/tensor") && fn.Name() == "NewIn":
+		return "tensor.NewIn"
+	case pkgIs(fn.Pkg(), "internal/autograd") && fn.Name() == "NewTapeIn":
+		return "autograd.NewTapeIn"
+	}
+	return ""
+}
+
+// isReleaseFunc reports whether fn returns pooled resources: arena Put,
+// tensor Release, autograd ReleaseBuffers, or an arena Local Flush.
+func isReleaseFunc(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Put":
+		return pkgIs(fn.Pkg(), "internal/arena")
+	case "Release":
+		return pkgIs(fn.Pkg(), "internal/tensor") || pkgIs(fn.Pkg(), "internal/arena")
+	case "ReleaseBuffers":
+		return pkgIs(fn.Pkg(), "internal/autograd")
+	case "Flush":
+		return pkgIs(fn.Pkg(), "internal/arena")
+	}
+	return false
+}
+
+// An escape is a site where an acquired value leaves the function's
+// hands without a release: a return, a store into a field / index /
+// global / channel / composite literal, or a hand-off to another call.
+type escape struct {
+	pos  token.Pos
+	kind string
+}
+
+// acqTrack follows one acquire call: the local variables holding its
+// result (the binding plus aliases) and the sites where it escapes.
+type acqTrack struct {
+	what     string
+	pos      token.Pos
+	vars     map[types.Object]bool
+	escapes  []escape
+	released bool
+}
+
+func runArenalint(pass *Pass) {
+	pkg := pass.Pkg
+	if pathIs(pkg.Types.Path(), "internal/arena") {
+		return
+	}
+	owns := pkg.directiveLines("owns")
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncAcquires(pass, fd, owns)
+		}
+	}
+}
+
+func checkFuncAcquires(pass *Pass, fd *ast.FuncDecl, owns map[string]map[int][]string) {
+	info := pass.Pkg.Info
+
+	// Pass 1: find acquires and how each result is bound.
+	var acquires []*acqTrack
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what := acquireName(info, call)
+		if what == "" {
+			return true
+		}
+		t := &acqTrack{what: what, pos: call.Pos(), vars: make(map[types.Object]bool)}
+		acquires = append(acquires, t)
+		i := len(stack) - 1
+		for i >= 0 {
+			if _, ok := stack[i].(*ast.ParenExpr); ok {
+				i--
+				continue
+			}
+			break
+		}
+		if i < 0 {
+			return true
+		}
+		switch parent := stack[i].(type) {
+		case *ast.AssignStmt:
+			// x := acquire(...) binds; s.f / a[i] = acquire(...) escapes.
+			for j, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) != call || j >= len(parent.Lhs) {
+					continue
+				}
+				lhs := ast.Unparen(parent.Lhs[j])
+				if id, ok := lhs.(*ast.Ident); ok {
+					if id.Name == "_" {
+						t.escapes = append(t.escapes, escape{call.Pos(), "discarded"})
+						continue
+					}
+					if o := exprObj(info, id); o != nil && isLocalVar(o) {
+						t.vars[o] = true
+						continue
+					}
+				}
+				t.escapes = append(t.escapes, escape{parent.Pos(), "stored"})
+			}
+		case *ast.ValueSpec:
+			for j, rhs := range parent.Values {
+				if ast.Unparen(rhs) == call && j < len(parent.Names) {
+					if o := info.Defs[parent.Names[j]]; o != nil {
+						t.vars[o] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			t.escapes = append(t.escapes, escape{parent.Pos(), "returned"})
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			t.escapes = append(t.escapes, escape{call.Pos(), "stored in a composite literal"})
+		case *ast.CallExpr:
+			if isReleaseFunc(callee(info, parent)) {
+				t.released = true
+			} else if builtinName(info, parent) == "" {
+				t.escapes = append(t.escapes, escape{call.Pos(), "passed to a call"})
+			}
+		case *ast.ExprStmt:
+			t.escapes = append(t.escapes, escape{call.Pos(), "discarded"})
+		}
+		return true
+	})
+	if len(acquires) == 0 {
+		return
+	}
+
+	// Pass 2: alias propagation — x2 := x adds x2 to x's tracked set.
+	// One forward pass covers the straight-line aliasing the repo uses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for j, rhs := range as.Rhs {
+			if j >= len(as.Lhs) {
+				break
+			}
+			src := exprObj(info, rhs)
+			if src == nil {
+				continue
+			}
+			dst := exprObj(info, as.Lhs[j])
+			if dst == nil || !isLocalVar(dst) {
+				continue
+			}
+			for _, t := range acquires {
+				if t.vars[src] {
+					t.vars[dst] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: releases and escapes of the tracked variables.
+	use := func(e ast.Expr) *acqTrack {
+		o := exprObj(info, e)
+		if o == nil {
+			return nil
+		}
+		for _, t := range acquires {
+			if t.vars[o] {
+				return t
+			}
+		}
+		return nil
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := callee(info, n)
+			isRelease := isReleaseFunc(fn)
+			if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if t := use(se.X); t != nil && isRelease {
+					t.released = true
+				}
+			}
+			if builtinName(info, n) != "" {
+				// len/cap/copy/append read the buffer without taking it.
+				return true
+			}
+			for _, arg := range n.Args {
+				t := use(arg)
+				if t == nil {
+					continue
+				}
+				if isRelease {
+					t.released = true
+				} else {
+					t.escapes = append(t.escapes, escape{arg.Pos(), "passed to a call"})
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if t := use(res); t != nil {
+					t.escapes = append(t.escapes, escape{n.Pos(), "returned"})
+				}
+			}
+		case *ast.AssignStmt:
+			for j, rhs := range n.Rhs {
+				t := use(rhs)
+				if t == nil || j >= len(n.Lhs) {
+					continue
+				}
+				lhs := ast.Unparen(n.Lhs[j])
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					t.escapes = append(t.escapes, escape{n.Pos(), "stored"})
+				case *ast.Ident:
+					if o := exprObj(info, lhs); o != nil && !isLocalVar(o) {
+						t.escapes = append(t.escapes, escape{n.Pos(), "stored in a global"})
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if t := use(v); t != nil {
+					t.escapes = append(t.escapes, escape{v.Pos(), "stored in a composite literal"})
+				}
+			}
+		case *ast.SendStmt:
+			if t := use(n.Value); t != nil {
+				t.escapes = append(t.escapes, escape{n.Pos(), "sent on a channel"})
+			}
+		}
+		return true
+	})
+
+	// Verdicts.
+	for _, t := range acquires {
+		if t.released {
+			continue
+		}
+		if len(t.escapes) == 0 {
+			pass.Reportf(t.pos, "%s is never Put/Released in this function and does not escape: the pooled buffer leaks back to the GC", t.what)
+			continue
+		}
+		for _, e := range t.escapes {
+			if e.kind == "discarded" {
+				pass.Reportf(e.pos, "%s result is discarded: the pooled buffer can never be returned", t.what)
+				break
+			}
+			if !pass.Pkg.annotatedAt(owns, e.pos) {
+				pass.Reportf(e.pos, "%s %s without //mlperfvet:owns: annotate the ownership transfer or Put/Release it in this function", t.what, e.kind)
+				break
+			}
+		}
+	}
+}
+
+// isLocalVar reports whether the object is a function-local variable
+// (incl. parameters and results) rather than a package-level one.
+func isLocalVar(o types.Object) bool {
+	v, ok := o.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pkg() == nil || v.Parent() != v.Pkg().Scope()
+}

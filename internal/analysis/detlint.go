@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detlint guards the determinism substrate behind the repo's
+// bit-identical-across-worker-counts contract (§3.2.1, §3.3):
+//
+//   - time.Now / time.Since anywhere outside internal/clock — wall-clock
+//     reads must route through the clock.Clock abstraction so timing is
+//     injectable and runs are replayable;
+//   - the global math/rand (and math/rand/v2) top-level functions —
+//     process-global, seed-shared RNG state; randomness must come from
+//     the repo's explicit tensor.RNG streams;
+//   - math.FMA — fused multiply-add rounds once where a*b+c rounds
+//     twice, so FMA results differ from the portable path and break
+//     cross-platform bit-identity (the GEMM kernels forbid it even in
+//     assembly);
+//   - range over a map in the numeric/logging packages — iteration order
+//     is randomized per run; unless the body is order-insensitive
+//     (collecting keys to sort, copying into another map, deleting, or
+//     integer accumulation), results depend on it.
+var Detlint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid wall-clock reads, global RNG, FMA, and unordered map iteration in deterministic-path code",
+	Run:  runDetlint,
+}
+
+func runDetlint(pass *Pass) {
+	pkg := pass.Pkg
+	inClock := pathIs(pkg.Types.Path(), "internal/clock")
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := callee(pkg.Info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				topLevel := sig != nil && sig.Recv() == nil
+				switch {
+				case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since") && !inClock:
+					pass.Reportf(n.Pos(), "time.%s outside internal/clock: route wall-clock reads through clock.Clock so timing is injectable and deterministic in tests", fn.Name())
+				case (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") && topLevel:
+					pass.Reportf(n.Pos(), "global math/rand.%s: process-shared RNG state breaks run reproducibility; draw from an explicit tensor.RNG stream", fn.Name())
+				case fn.Pkg().Path() == "math" && fn.Name() == "FMA":
+					pass.Reportf(n.Pos(), "math.FMA rounds once where a*b+c rounds twice and breaks cross-platform bit-identity; use separate multiply and add")
+				}
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !orderInsensitiveRange(pkg.Info, n) {
+						pass.Reportf(n.Pos(), "range over map has nondeterministic iteration order; collect and sort the keys first")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// orderInsensitiveRange reports whether every statement of a
+// range-over-map body is insensitive to iteration order:
+//
+//   - appending to a slice (the collect-keys-then-sort idiom; the later
+//     sort is what makes downstream order deterministic),
+//   - storing into another map,
+//   - delete(...),
+//   - integer-typed compound assignment or ++/-- on an accumulator that
+//     outlives the loop (integer addition is commutative AND
+//     associative, unlike floats),
+//   - any declaration of, or assignment to, a variable local to one
+//     iteration (range variables and body-scoped temporaries have no
+//     cross-iteration effect),
+//   - if statements whose branches are themselves order-insensitive,
+//   - continue/break.
+func orderInsensitiveRange(info *types.Info, r *ast.RangeStmt) bool {
+	if len(r.Body.List) == 0 {
+		return false
+	}
+	// Iteration-local objects: the range key/value and everything
+	// declared inside the body. Mutating them cannot leak order.
+	locals := make(map[types.Object]bool)
+	claim := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if o := info.Defs[id]; o != nil {
+				locals[o] = true
+			}
+		}
+	}
+	if r.Tok == token.DEFINE {
+		claim(r.Key)
+		claim(r.Value)
+	}
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.Defs[id]; o != nil {
+				locals[o] = true
+			}
+		}
+		return true
+	})
+	for _, stmt := range r.Body.List {
+		if !orderInsensitiveStmt(info, stmt, locals) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(info *types.Info, stmt ast.Stmt, locals map[types.Object]bool) bool {
+	isLocal := func(e ast.Expr) bool {
+		o := exprObj(info, e)
+		return o != nil && locals[o]
+	}
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			return true // declares iteration-locals
+		}
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		if isLocal(s.Lhs[0]) {
+			return true
+		}
+		// x = append(x, ...)
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && builtinName(info, call) == "append" {
+			return true
+		}
+		// m2[k] = v
+		if idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr); ok {
+			if mt := info.TypeOf(idx.X); mt != nil {
+				if _, isMap := mt.Underlying().(*types.Map); isMap {
+					return true
+				}
+			}
+		}
+		// n += v with an integer accumulator
+		if s.Tok != token.ASSIGN {
+			return isIntegerExpr(info, s.Lhs[0])
+		}
+		return false
+	case *ast.IncDecStmt:
+		return isLocal(s.X) || isIntegerExpr(info, s.X)
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		return ok && builtinName(info, call) == "delete"
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(info, s.Init, locals) {
+			return false
+		}
+		for _, b := range s.Body.List {
+			if !orderInsensitiveStmt(info, b, locals) {
+				return false
+			}
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			for _, b := range e.List {
+				if !orderInsensitiveStmt(info, b, locals) {
+					return false
+				}
+			}
+			return true
+		case *ast.IfStmt:
+			return orderInsensitiveStmt(info, e, locals)
+		}
+		return false
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	}
+	return false
+}
+
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

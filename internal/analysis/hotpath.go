@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath is the static complement of the bench-smoke 0-allocs/op gate:
+// a function whose doc comment carries //mlperfvet:hotpath (the warm
+// step / tape-replay / GEMM / ring-leg paths) may not contain any
+// construct that can allocate on the warm path —
+//
+//   - make / new,
+//   - append (it may grow the backing array; warm code writes into
+//     preallocated buffers),
+//   - slice, map, or address-taken composite literals,
+//   - function literals (closure allocation; warm kernels use cached
+//     closures or package-level functions),
+//   - calls into fmt, string concatenation, and []byte/[]rune/rune →
+//     string conversions,
+//   - interface boxing: converting, assigning, passing, or returning a
+//     concrete value where an interface is expected.
+//
+// Constructs on a panicking branch are exempt: an `if bad { panic(...) }`
+// guard never executes on the warm path, and its diagnostics may
+// allocate freely.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //mlperfvet:hotpath must be allocation-free",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !groupHasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	report := func(n ast.Node, stack []ast.Node, format string, args ...any) {
+		if onPanicPath(info, stack) {
+			return
+		}
+		pass.Reportf(n.Pos(), "hot function %s: "+format, append([]any{fd.Name.Name}, args...)...)
+	}
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(info, n) {
+			case "make":
+				report(n, stack, "make allocates on the warm path")
+			case "new":
+				report(n, stack, "new allocates on the warm path")
+			case "append":
+				report(n, stack, "append may grow its backing array; write into a preallocated buffer")
+			}
+			if fn := callee(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				report(n, stack, "call to fmt.%s allocates", fn.Name())
+			}
+			checkConversion(pass, info, n, stack, report)
+			checkCallBoxing(info, n, stack, report)
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n, stack, "slice literal allocates")
+			case *types.Map:
+				report(n, stack, "map literal allocates")
+			default:
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+						report(n, stack, "address-taken composite literal allocates")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			report(n, stack, "closure allocation; use a cached closure or a package-level function")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) {
+				report(n, stack, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) {
+				report(n, stack, "string concatenation allocates")
+			}
+			checkAssignBoxing(info, n, stack, report)
+		case *ast.ValueSpec:
+			checkSpecBoxing(info, n, stack, report)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(info, fd, n, stack, report)
+		case *ast.GoStmt:
+			report(n, stack, "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+type reportFn func(n ast.Node, stack []ast.Node, format string, args ...any)
+
+// onPanicPath reports whether the node sits on a branch that ends in
+// panic: inside a panic call's arguments, or inside a block or switch
+// clause whose final statement is a panic.
+func onPanicPath(info *types.Info, stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if builtinName(info, n) == "panic" {
+				return true
+			}
+		case *ast.BlockStmt:
+			if endsInPanic(info, n.List) {
+				return true
+			}
+		case *ast.CaseClause:
+			if endsInPanic(info, n.Body) {
+				return true
+			}
+		case *ast.CommClause:
+			if endsInPanic(info, n.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// endsInPanic reports whether a statement list's final statement is a
+// panic call.
+func endsInPanic(info *types.Info, list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	es, ok := list[len(list)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	return ok && builtinName(info, call) == "panic"
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// boxes reports whether using src where dst is expected boxes a concrete
+// value into an interface.
+func boxes(info *types.Info, dst types.Type, src ast.Expr) bool {
+	if dst == nil || !isInterface(dst) || isUntypedNil(info, src) {
+		return false
+	}
+	st := info.TypeOf(src)
+	return st != nil && !isInterface(st)
+}
+
+// checkConversion flags explicit conversions that allocate: concrete →
+// interface, and []byte/[]rune/rune → string.
+func checkConversion(pass *Pass, info *types.Info, call *ast.CallExpr, stack []ast.Node, report reportFn) {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	if boxes(info, dst, call.Args[0]) {
+		report(call, stack, "conversion boxes %s into interface %s", info.TypeOf(call.Args[0]), dst)
+		return
+	}
+	if b, ok := dst.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		if st := info.TypeOf(call.Args[0]); st != nil {
+			switch u := st.Underlying().(type) {
+			case *types.Slice:
+				report(call, stack, "conversion of %s to string allocates", st)
+			case *types.Basic:
+				if u.Info()&types.IsInteger != 0 {
+					report(call, stack, "conversion of %s to string allocates", st)
+				}
+			}
+		}
+	}
+}
+
+// checkCallBoxing flags concrete arguments passed to interface-typed
+// parameters.
+func checkCallBoxing(info *types.Info, call *ast.CallExpr, stack []ast.Node, report reportFn) {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if ok && tv.IsType() {
+		return // conversion, handled above
+	}
+	if builtinName(info, call) != "" {
+		return // panic/print et al. — not warm-path constructs
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info, pt, arg) {
+			report(arg, stack, "argument boxes %s into interface %s", info.TypeOf(arg), pt)
+		}
+	}
+}
+
+// checkAssignBoxing flags concrete → interface assignments.
+func checkAssignBoxing(info *types.Info, as *ast.AssignStmt, stack []ast.Node, report reportFn) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if as.Tok == token.DEFINE {
+			// A freshly := -declared variable takes the RHS type verbatim —
+			// no boxing. (A redeclared variable keeps its old type and falls
+			// through to the assignment check below.)
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && info.Defs[id] != nil {
+				continue
+			}
+		}
+		if lt := info.TypeOf(lhs); boxes(info, lt, as.Rhs[i]) {
+			report(as.Rhs[i], stack, "assignment boxes %s into interface %s", info.TypeOf(as.Rhs[i]), lt)
+		}
+	}
+}
+
+// checkSpecBoxing flags `var x I = concrete` declarations.
+func checkSpecBoxing(info *types.Info, vs *ast.ValueSpec, stack []ast.Node, report reportFn) {
+	if vs.Type == nil {
+		return
+	}
+	lt := info.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		if boxes(info, lt, v) {
+			report(v, stack, "declaration boxes %s into interface %s", info.TypeOf(v), lt)
+		}
+	}
+}
+
+// checkReturnBoxing flags concrete values returned as interface results.
+func checkReturnBoxing(info *types.Info, fd *ast.FuncDecl, ret *ast.ReturnStmt, stack []ast.Node, report reportFn) {
+	// Only returns belonging to fd itself, not to a nested FuncLit (the
+	// FuncLit is flagged as a whole anyway).
+	for _, n := range stack {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return
+		}
+	}
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		if boxes(info, results.At(i).Type(), res) {
+			report(res, stack, "return boxes %s into interface %s", info.TypeOf(res), results.At(i).Type())
+		}
+	}
+}

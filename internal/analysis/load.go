@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	// Path is the package's import path as the loader resolved it.
+	Path string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the package's non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the resolved type facts for Files.
+	Info *types.Info
+}
+
+// newInfo returns a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// moduleImporter resolves imports during type checking: module packages
+// come from the packages already checked this load (go list emits
+// dependencies first), everything else falls through to the stdlib
+// source importer.
+type moduleImporter struct {
+	loaded map[string]*types.Package
+	std    types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	GoFiles    []string
+}
+
+// goList runs `go list -json` with the given arguments in dir and decodes
+// the concatenated JSON package objects.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=Dir,ImportPath,Standard,GoFiles"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadModule discovers the packages matching patterns (e.g. "./...") in
+// the module rooted at dir via `go list -json`, type-checks them together
+// with their intra-module dependencies, and returns the packages matching
+// the patterns, in dependency order. Test files are not loaded: every
+// invariant the suite enforces is scoped to non-test code.
+func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Two listings: the target set (what the caller asked to vet) and the
+	// dependency-ordered closure (what must be type-checked to get there).
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		want[t.ImportPath] = true
+	}
+	closure, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		loaded: make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	for _, lp := range closure {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := check(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		imp.loaded[lp.ImportPath] = pkg.Types
+		if want[lp.ImportPath] {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadTree loads packages from a plain directory tree (no go.mod needed):
+// each path in paths names a package at root/path with import path equal
+// to path. Paths must be listed in dependency order; imports between them
+// resolve by path. This is the test harness's loader for the golden
+// packages under testdata/src.
+func LoadTree(root string, paths []string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		loaded: make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	for _, path := range paths {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []string
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				files = append(files, filepath.Join(dir, name))
+			}
+		}
+		sort.Strings(files)
+		pkg, err := check(fset, imp, path, files)
+		if err != nil {
+			return nil, err
+		}
+		imp.loaded[path] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one package's files.
+func check(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// pathIs reports whether a package import path denotes the named repo
+// package: an exact match or a "/"-boundary suffix match, so
+// "repro/internal/arena" and the test harness's bare "internal/arena"
+// both answer true for name "internal/arena".
+func pathIs(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// pkgIs is pathIs over a types.Package (false for nil, i.e. builtins).
+func pkgIs(pkg *types.Package, name string) bool {
+	return pkg != nil && pathIs(pkg.Path(), name)
+}

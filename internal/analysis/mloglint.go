@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mloglint keeps the MLLOG stream inside the compliance vocabulary: every
+// emitted event key must be one of the mlog.Key* constants (the paper's
+// §3.1 result-summary key set that cmd/mlperf-compliance validates), never
+// a raw string literal or a computed string. A typo'd or ad-hoc key would
+// produce a log the compliance checker silently fails to match.
+//
+// Enforced at every mlog.Event composite literal that sets Key, and at
+// the key argument of Logger.Simple. The mlog package itself (the emit
+// wrappers, which forward key parameters) is exempt.
+var Mloglint = &Analyzer{
+	Name: "mloglint",
+	Doc:  "MLLOG emits must use mlog.Key* constants, never raw or computed strings",
+	Run:  runMloglint,
+}
+
+func runMloglint(pass *Pass) {
+	pkg := pass.Pkg
+	if pathIs(pkg.Types.Path(), "internal/mlog") {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkEventLit(pass, n)
+			case *ast.CallExpr:
+				if fn := callee(pkg.Info, n); fn != nil && fn.Name() == "Simple" && pkgIs(fn.Pkg(), "internal/mlog") && len(n.Args) >= 2 {
+					checkKeyExpr(pass, n.Args[1], "Logger.Simple key")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkEventLit validates the Key field of an mlog.Event literal.
+func checkEventLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Event" || !pkgIs(named.Obj().Pkg(), "internal/mlog") {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	keyIndex := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Key" {
+			keyIndex = i
+			break
+		}
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Key" {
+				checkKeyExpr(pass, kv.Value, "Event.Key")
+			}
+			continue
+		}
+		if i == keyIndex {
+			checkKeyExpr(pass, elt, "Event.Key")
+		}
+	}
+}
+
+// checkKeyExpr requires e to resolve to a constant named Key* declared in
+// the mlog package.
+func checkKeyExpr(pass *Pass, e ast.Expr, what string) {
+	if c, ok := exprObj(pass.Pkg.Info, unwrapSel(e)).(*types.Const); ok {
+		if strings.HasPrefix(c.Name(), "Key") && pkgIs(c.Pkg(), "internal/mlog") {
+			return
+		}
+	}
+	pass.Reportf(e.Pos(), "%s must be an mlog.Key* constant from the compliance key set, not %s", what, describeKeyExpr(e))
+}
+
+// unwrapSel turns a qualified identifier (mlog.KeyFoo) into its Sel ident
+// so exprObj can resolve it; other expressions pass through.
+func unwrapSel(e ast.Expr) ast.Expr {
+	if se, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return se.Sel
+	}
+	return e
+}
+
+func describeKeyExpr(e ast.Expr) string {
+	switch ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return "a raw string literal"
+	case *ast.BinaryExpr, *ast.CallExpr:
+		return "a computed string"
+	default:
+		return "a non-constant expression"
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nestpar guards the fork-join pool against re-entry: a body handed to
+// parallel.For / ForCost / ForTiles runs on pool workers, and if it (or
+// anything it calls) re-enters the pool, the inner call's work items
+// deadlock-or-serialize against the very workers the outer call already
+// occupies. The deterministic chunking contract also assumes one level
+// of sharding. This is an intra-package call-graph check: the body
+// function and every same-package function reachable from it must not
+// call back into the pool. (Cross-package nesting is kept impossible by
+// construction: only leaf kernels below the parallel substrate are
+// handed to the pool.)
+var Nestpar = &Analyzer{
+	Name: "nestpar",
+	Doc:  "bodies handed to parallel.For/ForCost/ForTiles must not re-enter the fork-join pool",
+	Run:  runNestpar,
+}
+
+// isParallelEntry reports whether fn is one of the pool's fork-join entry
+// points (package functions or Pool methods).
+func isParallelEntry(fn *types.Func) bool {
+	if fn == nil || !pkgIs(fn.Pkg(), "internal/parallel") {
+		return false
+	}
+	switch fn.Name() {
+	case "For", "ForCost", "ForTiles":
+		return true
+	}
+	return false
+}
+
+func runNestpar(pass *Pass) {
+	pkg := pass.Pkg
+	if pathIs(pkg.Types.Path(), "internal/parallel") {
+		return
+	}
+	info := pkg.Info
+
+	// Map every package-level function/method object to its declaration,
+	// for the intra-package reachability walk.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if o := info.Defs[fd.Name]; o != nil {
+					decls[o] = fd
+				}
+			}
+		}
+	}
+
+	// reaches reports the path (function names) by which a body reaches a
+	// pool entry, or nil. visited guards cycles.
+	var reaches func(body ast.Node, visited map[ast.Node]bool) []string
+	reaches = func(body ast.Node, visited map[ast.Node]bool) []string {
+		if visited[body] {
+			return nil
+		}
+		visited[body] = true
+		var path []string
+		ast.Inspect(body, func(n ast.Node) bool {
+			if path != nil {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(info, call)
+			if isParallelEntry(fn) {
+				path = []string{"parallel." + fn.Name()}
+				return false
+			}
+			if fn == nil {
+				return true
+			}
+			// Origin maps a generic instantiation back to the declared
+			// function, the object decls is keyed by.
+			if fd, ok := decls[fn.Origin()]; ok {
+				if sub := reaches(fd.Body, visited); sub != nil {
+					path = append([]string{fd.Name.Name}, sub...)
+					return false
+				}
+			}
+			return true
+		})
+		return path
+	}
+
+	// Find every pool fork call and check the body argument it forks.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(info, call)
+			if !isParallelEntry(fn) || len(call.Args) == 0 {
+				return true
+			}
+			bodyArg := ast.Unparen(call.Args[len(call.Args)-1])
+			var body ast.Node
+			name := "the body"
+			switch e := bodyArg.(type) {
+			case *ast.FuncLit:
+				body = e.Body
+			case *ast.Ident, *ast.SelectorExpr:
+				if o := exprObj(info, unwrapSel(bodyArg)); o != nil {
+					if fd, ok := decls[o]; ok {
+						body = fd.Body
+						name = fd.Name.Name
+					}
+				}
+			}
+			if body == nil {
+				return true
+			}
+			if path := reaches(body, map[ast.Node]bool{}); path != nil {
+				pass.Reportf(call.Pos(), "%s passed to parallel.%s re-enters the fork-join pool via %s: nested forks deadlock-or-serialize against the outer call's workers", name, fn.Name(), strings.Join(path, " -> "))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Package arenabad violates the arenalint acquire/release discipline in
+// each reportable way — leak, unannotated escape, discard — alongside
+// the clean shapes (in-function release, //mlperfvet:owns transfer).
+package arenabad
+
+import (
+	"internal/arena"
+	"internal/autograd"
+	"internal/tensor"
+)
+
+type holder struct {
+	buf []float64
+}
+
+// Leak acquires a buffer that is never released and never escapes.
+func Leak(a *arena.Arena) {
+	buf := a.Get(64) // want "arena.Get is never Put/Released"
+	buf[0] = 1
+}
+
+// Stash hands the buffer to a field without declaring the transfer.
+func (h *holder) Stash(a *arena.Arena) {
+	h.buf = a.Get(8) // want "arena.Get stored without //mlperfvet:owns"
+}
+
+// Discard drops the acquire on the floor.
+func Discard(a *arena.Arena) {
+	a.Get(8) // want "arena.Get result is discarded"
+}
+
+// TapeLeak leaks an arena-backed tape.
+func TapeLeak(l *arena.Local) {
+	t := autograd.NewTapeIn(l) // want "autograd.NewTapeIn is never Put/Released"
+	_ = t
+}
+
+// Roundtrip releases in-function — clean.
+func Roundtrip(a *arena.Arena) float64 {
+	buf := a.Get(8)
+	buf[0] = 1
+	s := buf[0]
+	a.Put(buf)
+	return s
+}
+
+// Adopt transfers ownership with the annotation — clean.
+func (h *holder) Adopt(a *arena.Arena) {
+	h.buf = a.Get(8) //mlperfvet:owns — h owns buf until its own teardown
+}
+
+// Scratch releases the tensor it acquires — clean.
+func Scratch(a *arena.Arena) float64 {
+	t := tensor.NewIn(a, 4)
+	t.Data[0] = 2
+	v := t.Data[0]
+	t.Release()
+	return v
+}
+
+// NewInto returns an acquire whose ownership the annotation hands to the
+// caller — clean.
+func NewInto(a *arena.Arena) *tensor.Tensor {
+	t := tensor.NewIn(a, 4)
+	return t //mlperfvet:owns — the caller releases
+}

@@ -1,0 +1,61 @@
+// Package detbad violates every detlint rule exactly once, alongside
+// the sanctioned idioms that must stay clean.
+package detbad
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock directly instead of going through a Clock.
+func Stamp() (time.Time, time.Duration) {
+	t := time.Now()    // want "time.Now outside internal/clock"
+	d := time.Since(t) // want "time.Since outside internal/clock"
+	return t, d
+}
+
+// Draw uses the process-global RNG and a fused multiply-add.
+func Draw() (int, float64) {
+	n := rand.Intn(10)     // want "global math/rand.Intn"
+	f := math.FMA(2, 3, 4) // want "math.FMA rounds once"
+	return n, f
+}
+
+// Sum accumulates floats in map iteration order — the drifting-sum bug
+// detlint exists to catch.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map has nondeterministic iteration order"
+		s += v
+	}
+	return s
+}
+
+// Keys is the collect-then-sort idiom — order-insensitive, not flagged.
+func Keys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count accumulates integers — commutative AND associative, not flagged.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+	}
+	return n
+}
+
+// Wall is a violation covered by an ignore directive; the driver must
+// drop the finding (no want comment here).
+func Wall() time.Time {
+	return time.Now() //mlperfvet:ignore detlint
+}

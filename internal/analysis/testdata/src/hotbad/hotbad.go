@@ -1,0 +1,62 @@
+// Package hotbad puts every hotpath-forbidden construct inside annotated
+// functions, next to a clean kernel and an unannotated allocator that
+// must not be flagged.
+package hotbad
+
+import "fmt"
+
+// Step is the deliberately-violating hot function.
+//
+//mlperfvet:hotpath
+func Step(dst []float64, n int) []float64 {
+	tmp := make([]float64, n) // want "make allocates on the warm path"
+	dst = append(dst, tmp[0]) // want "append may grow its backing array"
+	fmt.Println()             // want "call to fmt.Println allocates"
+	s := []float64{1, 2}      // want "slice literal allocates"
+	dst[0] = s[0]
+	f := func() {} // want "closure allocation"
+	f()
+	var sink interface{} = n // want "declaration boxes int into interface"
+	_ = sink
+	return dst
+}
+
+// Concat builds a string on the hot path.
+//
+//mlperfvet:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// Axpy is the shape a real hot kernel takes: it writes into
+// preallocated buffers and its only allocating construct sits on a
+// panic branch — clean.
+//
+//mlperfvet:hotpath
+func Axpy(dst, x []float64, a float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("hotbad: axpy %d != %d", len(dst), len(x)))
+	}
+	for i := range x {
+		dst[i] += a * x[i]
+	}
+}
+
+// Widen dispatches on a mode with a panicking default — the case-clause
+// panic (and its boxed argument) sits off the warm path, clean.
+//
+//mlperfvet:hotpath
+func Widen(dst, src []float64, mode int) {
+	switch mode {
+	case 0:
+		copy(dst, src)
+	default:
+		panic("hotbad: bad mode")
+	}
+}
+
+// Setup allocates freely — it carries no hotpath directive and must not
+// be flagged.
+func Setup(n int) []float64 {
+	return make([]float64, n)
+}

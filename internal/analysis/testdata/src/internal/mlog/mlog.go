@@ -1,0 +1,26 @@
+// Package mlog is a minimal stand-in for the repo's MLLOG emitter: the
+// Event literal shape, the Logger.Simple signature, and a few Key*
+// constants — the surface mloglint matches against.
+package mlog
+
+// The compliance key vocabulary (a tiny slice of the real set).
+const (
+	KeyRunStart = "run_start"
+	KeyRunStop  = "run_stop"
+	KeyEpochNum = "epoch_num"
+)
+
+// Event is one MLLOG record.
+type Event struct {
+	Key   string
+	Value any
+}
+
+// Logger emits events.
+type Logger struct{}
+
+// Log emits one event.
+func (l *Logger) Log(e Event) {}
+
+// Simple emits a bare (key, value) event at the given timestamp.
+func (l *Logger) Simple(timeMS int64, key string, value any) {}

@@ -1,0 +1,16 @@
+// Package parallel is a minimal stand-in for the repo's fork-join pool:
+// the three entry points nestpar recognizes, executed serially.
+package parallel
+
+// For splits [0, n) and runs body over the pieces.
+func For(n int, body func(lo, hi int)) { body(0, n) }
+
+// ForCost is For with a per-item cost model for balancing.
+func ForCost(n int, cost func(i int) int, body func(lo, hi int)) { body(0, n) }
+
+// ForTiles runs body over tile origins.
+func ForTiles(n, tile int, body func(t int)) {
+	for t := 0; t < n; t += tile {
+		body(t)
+	}
+}

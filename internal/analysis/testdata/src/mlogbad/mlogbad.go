@@ -1,0 +1,29 @@
+// Package mlogbad emits MLLOG events with raw and computed keys — the
+// typo'd-key failure mode mloglint guards — next to the compliant
+// constant-key emits.
+package mlogbad
+
+import "internal/mlog"
+
+var log mlog.Logger
+
+// Emit uses a raw string where a Key* constant is required.
+func Emit() {
+	log.Log(mlog.Event{Key: "run_start"}) // want "Event.Key must be an mlog.Key"
+}
+
+// EmitComputed computes the Logger.Simple key.
+func EmitComputed(epoch int) {
+	log.Simple(0, "epoch_"+"num", epoch) // want "Logger.Simple key must be an mlog.Key"
+}
+
+// EmitPositional sets Key positionally with a literal.
+func EmitPositional() {
+	log.Log(mlog.Event{"raw", nil}) // want "Event.Key must be an mlog.Key"
+}
+
+// EmitGood uses the constants — clean.
+func EmitGood() {
+	log.Log(mlog.Event{Key: mlog.KeyRunStart})
+	log.Simple(0, mlog.KeyRunStop, nil)
+}

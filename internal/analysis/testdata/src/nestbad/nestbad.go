@@ -1,0 +1,33 @@
+// Package nestbad re-enters the fork-join pool from forked bodies, both
+// directly and through a same-package call chain, next to a clean
+// single-level fork.
+package nestbad
+
+import "internal/parallel"
+
+// Outer forks a body that directly re-enters the pool.
+func Outer(n int) {
+	parallel.For(n, func(lo, hi int) { // want "re-enters the fork-join pool via parallel.For"
+		parallel.For(hi-lo, leaf)
+	})
+}
+
+// Indirect re-enters through a same-package helper chain.
+func Indirect(n int) {
+	parallel.For(n, helper) // want "helper passed to parallel.For re-enters the fork-join pool via nested -> parallel.For"
+}
+
+func helper(lo, hi int) {
+	nested(hi - lo)
+}
+
+func nested(n int) {
+	parallel.For(n, leaf)
+}
+
+func leaf(lo, hi int) {}
+
+// Flat forks a leaf body — clean.
+func Flat(n int) {
+	parallel.For(n, leaf)
+}

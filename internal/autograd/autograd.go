@@ -133,6 +133,8 @@ func (t *Tape) Backward(loss *Var) { t.BackwardScaled(loss, 1) }
 // the bf16 rounding of the reduced-precision backward products; the
 // optimizer divides the scale back out before the update. With seed 1 it
 // is exactly Backward.
+//
+//mlperfvet:hotpath
 func (t *Tape) BackwardScaled(loss *Var, seed float64) {
 	if loss.Value.Size() != 1 {
 		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", loss.Value.Shape))

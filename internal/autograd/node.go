@@ -97,10 +97,12 @@ func numel(shape []int) int {
 	return n
 }
 
-// newTensor allocates a tensor from the tape's arena (or the heap).
+// newTensor allocates a tensor from the tape's arena (or the heap). The
+// caller's node owns the tensor; node recycling (Tape.Reset slot replay /
+// ReleaseBuffers) releases it back to the tape's arena.
 func (t *Tape) newTensor(shape ...int) *tensor.Tensor {
 	if t.alloc != nil {
-		return tensor.NewIn(t.alloc, shape...)
+		return tensor.NewIn(t.alloc, shape...) //mlperfvet:owns — released by node recycling
 	}
 	return tensor.New(shape...)
 }

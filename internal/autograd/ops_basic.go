@@ -18,6 +18,7 @@ func Add(a, b *Var) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func addBack(nd *node) {
 	if nd.a.tape != nil {
 		nd.a.Grad.AddInPlace(nd.out.Grad)
@@ -39,6 +40,7 @@ func Sub(a, b *Var) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func subBack(nd *node) {
 	if nd.a.tape != nil {
 		nd.a.Grad.AddInPlace(nd.out.Grad)
@@ -60,6 +62,7 @@ func Mul(a, b *Var) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func mulBack(nd *node) {
 	a, b, out := nd.a, nd.b, &nd.out
 	if a.tape != nil {
@@ -87,6 +90,7 @@ func Scale(a *Var, s float64) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func scaleBack(nd *node) { nd.a.Grad.AxpyInPlace(nd.f0, nd.out.Grad) }
 
 // Neg returns -a.
@@ -106,6 +110,7 @@ func AddScalar(a *Var, s float64) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func addScalarBack(nd *node) { nd.a.Grad.AddInPlace(nd.out.Grad) }
 
 // AddRowVec broadcasts a row vector b [m] over every row of a [n,m]
@@ -136,6 +141,7 @@ func addRowVec(dst, a, b *tensor.Tensor) {
 	}
 }
 
+//mlperfvet:hotpath
 func addRowVecBack(nd *node) {
 	a, b, out := nd.a, nd.b, &nd.out
 	n, m := a.Value.Shape[0], a.Value.Shape[1]
@@ -180,6 +186,7 @@ func mulColVec(dst, a, b *tensor.Tensor) {
 	}
 }
 
+//mlperfvet:hotpath
 func mulColVecBack(nd *node) {
 	a, b, out := nd.a, nd.b, &nd.out
 	n, m := b.Value.Shape[0], b.Value.Shape[1]
@@ -231,6 +238,7 @@ func Reshape(a *Var, shape ...int) *Var {
 	return v
 }
 
+//mlperfvet:hotpath
 func reshapeBack(nd *node) {
 	// Shapes differ but sizes match: fold the flat gradient back.
 	ag, og := nd.a.Grad.Data, nd.out.Grad.Data
@@ -277,6 +285,7 @@ func concatCols(dst *tensor.Tensor, vs []*Var) {
 	}
 }
 
+//mlperfvet:hotpath
 func concatColsBack(nd *node) {
 	out := &nd.out
 	n, total := out.Value.Shape[0], out.Value.Shape[1]
@@ -329,6 +338,7 @@ func concatRows(dst *tensor.Tensor, vs []*Var) {
 	}
 }
 
+//mlperfvet:hotpath
 func concatRowsBack(nd *node) {
 	out := &nd.out
 	m := out.Value.Shape[1]
@@ -372,6 +382,7 @@ func sliceCols(dst, a *tensor.Tensor, lo int) {
 	}
 }
 
+//mlperfvet:hotpath
 func sliceColsBack(nd *node) {
 	a, out := nd.a, &nd.out
 	n, m := a.Value.Shape[0], a.Value.Shape[1]
@@ -404,6 +415,7 @@ func SliceRows(a *Var, lo, hi int) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func sliceRowsBack(nd *node) {
 	a, out := nd.a, &nd.out
 	m := a.Value.Shape[1]
@@ -441,6 +453,7 @@ func gatherRows(dst, a *tensor.Tensor, idx []int, n int) {
 	}
 }
 
+//mlperfvet:hotpath
 func gatherRowsBack(nd *node) {
 	a, out := nd.a, &nd.out
 	m := a.Value.Shape[1]

@@ -57,6 +57,8 @@ func MatMul(a, b *Var) *Var {
 // runs on the f32 engine, and the float32 results accumulate into the
 // float64 gradient buffers, so cross-op gradient accumulation stays at
 // full precision.
+//
+//mlperfvet:hotpath
 func matMulLPBack(nd *node) {
 	a, b := nd.a, nd.b
 	n, k := a.Value.Shape[0], a.Value.Shape[1]
@@ -76,6 +78,7 @@ func matMulLPBack(nd *node) {
 	}
 }
 
+//mlperfvet:hotpath
 func matMulBack(nd *node) {
 	a, b := nd.a, nd.b
 	n, k := a.Value.Shape[0], a.Value.Shape[1]
@@ -119,6 +122,7 @@ func transpose2DInto(dst, a *tensor.Tensor) {
 	}
 }
 
+//mlperfvet:hotpath
 func transposeBack(nd *node) {
 	// Each grad element receives exactly one term, so accumulating directly
 	// is bit-identical to transposing into scratch first.
@@ -160,6 +164,7 @@ func rowSum(dst, a *tensor.Tensor) {
 	}
 }
 
+//mlperfvet:hotpath
 func rowSumBack(nd *node) {
 	a, out := nd.a, &nd.out
 	n, m := a.Value.Shape[0], a.Value.Shape[1]
@@ -183,6 +188,7 @@ func Sum(a *Var) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func sumBack(nd *node) {
 	g := nd.out.Grad.Data[0]
 	for i := range nd.a.Grad.Data {
@@ -204,6 +210,7 @@ func Mean(a *Var) *Var {
 	return out
 }
 
+//mlperfvet:hotpath
 func meanBack(nd *node) {
 	g := nd.out.Grad.Data[0] / nd.f0
 	for i := range nd.a.Grad.Data {

@@ -1,47 +1,30 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/clock"
+)
 
 // Clock abstracts the run clock so the timing rules of §3.2.1 can be
-// enforced and tested: the real clock drives actual training, while the
-// simulated clock drives rule tests and the cluster-scale studies.
-type Clock interface {
-	// Now returns elapsed time since the clock's origin.
-	Now() time.Duration
-}
+// enforced and tested. The implementations live in internal/clock (the
+// one package detlint permits to call time.Now); core re-exports them
+// under their historical names so the harness API is unchanged.
+type Clock = clock.Clock
 
 // RealClock measures wall time from its creation.
-type RealClock struct{ start time.Time }
+type RealClock = clock.Real
 
 // NewRealClock starts a wall clock.
-func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+func NewRealClock() *RealClock { return clock.NewReal() }
 
-// Now implements Clock.
-func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
-
-// TickClock advances by a fixed tick on every Now call. Because a run
-// reads the clock a schedule-independent number of times, TickClock makes
-// TimeToTrain a pure function of the run's work — the deterministic timing
-// source the concurrent run-set executor is tested against.
-type TickClock struct {
-	t    time.Duration
-	tick time.Duration
-}
+// TickClock advances by a fixed tick on every Now call — the
+// deterministic timing source the concurrent run-set executor is tested
+// against.
+type TickClock = clock.Tick
 
 // NewTickClock returns a clock advancing by tick per reading.
-func NewTickClock(tick time.Duration) *TickClock { return &TickClock{tick: tick} }
-
-// Now implements Clock.
-func (c *TickClock) Now() time.Duration {
-	c.t += c.tick
-	return c.t
-}
+func NewTickClock(tick time.Duration) *TickClock { return clock.NewTick(tick) }
 
 // SimClock is a manually advanced clock.
-type SimClock struct{ t time.Duration }
-
-// Now implements Clock.
-func (c *SimClock) Now() time.Duration { return c.t }
-
-// Advance moves the clock forward.
-func (c *SimClock) Advance(d time.Duration) { c.t += d }
+type SimClock = clock.Sim

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/autograd"
+	"repro/internal/clock"
 	"repro/internal/data"
 	"repro/internal/opt"
 	"repro/internal/precision"
@@ -103,6 +104,10 @@ type Config struct {
 	// deterministic function of the identical all-reduced gradients, so
 	// the per-replica MP trainers stay in lockstep.
 	Numerics precision.Numerics
+	// Clock times Step for Stats.StepTime. Nil selects a wall clock;
+	// tests inject a deterministic clock (e.g. clock.Sim) so measured
+	// step times are reproducible.
+	Clock clock.Clock
 }
 
 // Stats counts the engine's communication and compute activity.
@@ -159,6 +164,9 @@ type Engine struct {
 	stepWG  sync.WaitGroup
 	closed  bool
 
+	// clock times Step (Config.Clock, defaulted in New).
+	clock clock.Clock
+
 	stats Stats
 }
 
@@ -201,7 +209,10 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 		return nil, fmt.Errorf("dist: nil replica factory")
 	}
 
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, clock: cfg.Clock}
+	if e.clock == nil {
+		e.clock = clock.NewReal()
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		rep := factory(w)
 		if rep.Model == nil || rep.Opt == nil {
@@ -233,11 +244,11 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	}
 	e.gbuf = make([][]float64, cfg.Microshards)
 	for m := range e.gbuf {
-		e.gbuf[m] = e.buffers.Get(e.flatLen)
+		e.gbuf[m] = e.buffers.Get(e.flatLen) //mlperfvet:owns — engine state, released in Close
 	}
 	e.agg = make([][]float64, cfg.Workers)
 	for w := range e.agg {
-		e.agg[w] = e.buffers.Get(e.flatLen)
+		e.agg[w] = e.buffers.Get(e.flatLen) //mlperfvet:owns — engine state, released in Close
 	}
 	e.losses = make([]float64, cfg.Microshards)
 	e.shards = make([][]int, cfg.Microshards)
@@ -252,7 +263,7 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	e.mps = make([]*precision.MP, cfg.Workers)
 	for w := range e.tapes {
 		e.locals[w] = e.buffers.NewLocal()
-		e.tapes[w] = autograd.NewTapeIn(e.locals[w])
+		e.tapes[w] = autograd.NewTapeIn(e.locals[w]) //mlperfvet:owns — engine state, released in Close
 		e.tapes[w].SetDType(cfg.Numerics.Compute)
 		e.mps[w] = cfg.Numerics.NewTrainer(e.params[w])
 	}
@@ -402,7 +413,7 @@ func (e *Engine) TrainEpoch() float64 {
 // loss (the microshard-size-weighted mean, equal to the mean over all
 // examples).
 func (e *Engine) Step(idx []int) float64 {
-	start := time.Now()
+	start := e.clock.Now()
 	K, F := e.cfg.Workers, e.cfg.Microshards
 
 	for m := range e.shards {
@@ -431,7 +442,7 @@ func (e *Engine) Step(idx []int) float64 {
 
 	e.step++
 	e.stats.Steps++
-	e.stats.StepTime += time.Since(start)
+	e.stats.StepTime += e.clock.Now() - start
 
 	// Weighted losses sum to the global mean loss; fixed ascending-m order
 	// keeps the value worker-count-invariant too.

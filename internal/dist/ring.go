@@ -68,7 +68,7 @@ func NewRing(members, chunks, flatLen int, buffers *arena.Arena) *Ring {
 		r.bufs = make([][]float64, chunks)
 		for c := range r.bufs {
 			lo, hi := r.ChunkRange(c)
-			r.bufs[c] = buffers.Get(hi - lo)
+			r.bufs[c] = buffers.Get(hi - lo) //mlperfvet:owns — ring state, released in Close
 		}
 	}
 	return r
@@ -99,6 +99,8 @@ func (r *Ring) RoundBytes() int { return 2 * (r.members - 1) * r.flatLen * 8 }
 // order sum of ALL rows (identical bits at every member). Every member must
 // call AllReduce concurrently once per round; rows is shared state whose
 // row range [rlo, rhi) must be fully written by member w before its call.
+//
+//mlperfvet:hotpath
 func (r *Ring) AllReduce(w int, rows [][]float64, rlo, rhi int, agg []float64) {
 	if r.members == 1 {
 		// Degenerate ring: same ascending-row accumulation order as the

@@ -124,6 +124,18 @@ func APAtIoU(dets []Detection, gts []GroundTruth, iouThresh float64, useMask boo
 	return ap
 }
 
+// sortedClasses returns the class ids of a presence set in ascending
+// order, so per-class AP accumulation is independent of map iteration
+// order (float addition is not associative).
+func sortedClasses(classes map[int]bool) []int {
+	out := make([]int, 0, len(classes))
+	for c := range classes {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // MeanAP computes COCO-style mAP: AP averaged over classes and over IoU
 // thresholds 0.5:0.05:0.95. Detections and ground truth are grouped by
 // Box.Class. useMask switches to mask IoU (the "Mask min AP" of Table 1).
@@ -137,7 +149,7 @@ func MeanAP(dets []Detection, gts []GroundTruth, useMask bool) float64 {
 	}
 	thresholds := []float64{0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95}
 	total := 0.0
-	for cls := range classes {
+	for _, cls := range sortedClasses(classes) {
 		var cd []Detection
 		for _, d := range dets {
 			if d.Box.Class == cls {
@@ -170,7 +182,7 @@ func MeanAP50(dets []Detection, gts []GroundTruth) float64 {
 		return 0
 	}
 	total := 0.0
-	for cls := range classes {
+	for _, cls := range sortedClasses(classes) {
 		var cd []Detection
 		for _, d := range dets {
 			if d.Box.Class == cls {
@@ -206,13 +218,17 @@ func BLEU(candidates, references [][]int) float64 {
 		for n := 1; n <= maxN; n++ {
 			cc := ngramCounts(cand, n)
 			rc := ngramCounts(ref, n)
+			// Clipped-count sum in an int: integer addition is exact, so
+			// the total is independent of the map's iteration order
+			// (float accumulation here would make BLEU order-sensitive).
+			m := 0
 			for g, c := range cc {
-				m := c
-				if r := rc[g]; r < m {
-					m = r
+				if r := rc[g]; r < c {
+					c = r
 				}
-				matches[n-1] += float64(m)
+				m += c
 			}
+			matches[n-1] += float64(m)
 			if l := len(cand) - n + 1; l > 0 {
 				totals[n-1] += float64(l)
 			}

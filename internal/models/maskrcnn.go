@@ -2,6 +2,7 @@ package models
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/autograd"
 	"repro/internal/data"
@@ -357,7 +358,16 @@ func (w *InstanceSegmentation) DetectInstances(exs []datasets.DetExample, id int
 		}
 		perClass[bi] = append(perClass[bi], i)
 	}
-	for cInd, rows := range perClass {
+	// Detections are emitted in ascending class order: map iteration
+	// order would otherwise leak into the boxDets/maskDets ordering and
+	// break run-to-run bit-identity of the eval.
+	classOrder := make([]int, 0, len(perClass))
+	for cInd := range perClass {
+		classOrder = append(classOrder, cInd)
+	}
+	sort.Ints(classOrder)
+	for _, cInd := range classOrder {
+		rows := perClass[cInd]
 		var cb []ScoredBox
 		rowOf := map[int]int{}
 		for _, i := range rows {
@@ -457,8 +467,13 @@ func meanMaskAP50(dets []metrics.Detection, gts []metrics.GroundTruth) float64 {
 	if len(classes) == 0 {
 		return 0
 	}
-	total := 0.0
+	order := make([]int, 0, len(classes))
 	for cls := range classes {
+		order = append(order, cls)
+	}
+	sort.Ints(order)
+	total := 0.0
+	for _, cls := range order {
 		var cd []metrics.Detection
 		var cg []metrics.GroundTruth
 		for _, d := range dets {

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/autograd"
+	"repro/internal/clock"
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/opt"
@@ -157,6 +158,10 @@ type Config struct {
 	// not supported across stage shards — use dist or the serial trainers
 	// for the bf16 mixed regime.
 	DType tensor.DType
+	// Clock times Step for Stats.StepTime. Nil selects a wall clock;
+	// tests inject a deterministic clock (e.g. clock.Sim) so measured
+	// step times are reproducible.
+	Clock clock.Clock
 }
 
 // Stats counts the engine's communication and compute activity.
@@ -234,6 +239,9 @@ type Engine struct {
 	stepWG  sync.WaitGroup
 	closed  bool
 
+	// clock times Step (Config.Clock, defaulted in New).
+	clock clock.Clock
+
 	stats Stats
 }
 
@@ -294,6 +302,10 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 		cfg: cfg,
 		S:   cfg.Stages, K: cfg.Workers, M: cfg.Microbatches,
 		mLocal: cfg.Microbatches / cfg.Workers,
+		clock:  cfg.Clock,
+	}
+	if e.clock == nil {
+		e.clock = clock.NewReal()
 	}
 	e.buffers = cfg.Arena
 	if e.buffers == nil {
@@ -315,7 +327,7 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 			rt.local = e.buffers.NewLocal()
 			rt.tapes = make([]*autograd.Tape, e.mLocal)
 			for j := range rt.tapes {
-				rt.tapes[j] = autograd.NewTapeIn(rt.local)
+				rt.tapes[j] = autograd.NewTapeIn(rt.local) //mlperfvet:owns — runtime state, released in Close
 				rt.tapes[j].SetDType(cfg.DType)
 			}
 			rt.ins = make([][]*autograd.Var, e.mLocal)
@@ -346,11 +358,11 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 	for s := 0; s < e.S; s++ {
 		e.gbuf[s] = make([][]float64, e.M)
 		for m := range e.gbuf[s] {
-			e.gbuf[s][m] = e.buffers.Get(e.flatLen[s])
+			e.gbuf[s][m] = e.buffers.Get(e.flatLen[s]) //mlperfvet:owns — engine state, released in Close
 		}
 		e.agg[s] = make([][]float64, e.K)
 		for k := range e.agg[s] {
-			e.agg[s][k] = e.buffers.Get(e.flatLen[s])
+			e.agg[s][k] = e.buffers.Get(e.flatLen[s]) //mlperfvet:owns — engine state, released in Close
 		}
 		e.rings[s] = dist.NewRing(e.K, cfg.Chunks, e.flatLen[s], e.buffers)
 	}
@@ -515,7 +527,7 @@ func (e *Engine) TrainEpoch() float64 {
 // examples). Ragged batches are supported: microbatches left empty by a
 // short final batch are skipped symmetrically by every stage.
 func (e *Engine) Step(idx []int) float64 {
-	start := time.Now()
+	start := e.clock.Now()
 	for m := range e.shards {
 		e.shards[m] = data.Shard(idx, m, e.M)
 	}
@@ -546,7 +558,7 @@ func (e *Engine) Step(idx []int) float64 {
 
 	e.step++
 	e.stats.Steps++
-	e.stats.StepTime += time.Since(start)
+	e.stats.StepTime += e.clock.Now() - start
 
 	// Fixed ascending-microbatch loss reduction, schedule-invariant.
 	loss := 0.0

@@ -49,6 +49,8 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 // original elementwise nest — so results are bit-identical to it (the
 // parity test in conv_test.go pins this against a retained naive
 // reference).
+//
+//mlperfvet:hotpath
 func Conv2DPlanes(out, x, w, b *Tensor, stride, pad, lo, hi int) {
 	c, h, wd := x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
@@ -88,6 +90,8 @@ func Conv2DPlanes(out, x, w, b *Tensor, stride, pad, lo, hi int) {
 // in-bounds kx range, ascending. Interior columns (whole kernel row in
 // bounds) run the unrolled fast path; edge columns clamp the tap range —
 // the same taps, in the same order, as the elementwise nest.
+//
+//mlperfvet:hotpath
 func convRowAcc(orow, xRow, wRow []float64, stride, pad, wd int) {
 	wo, kw := len(orow), len(wRow)
 	lo := 0
@@ -136,6 +140,8 @@ func convRowAcc(orow, xRow, wRow []float64, stride, pad, wd int) {
 }
 
 // convEdgeTap accumulates the in-bounds taps of one edge output column.
+//
+//mlperfvet:hotpath
 func convEdgeTap(orow, xRow, wRow []float64, ox, stride, pad, wd int) {
 	ix0 := ox*stride - pad
 	kx0, kx1 := 0, len(wRow)
@@ -191,6 +197,8 @@ func Conv2DBackward(x, w, dout *Tensor, stride, pad int, hasBias bool) (dx, dw, 
 // [lo, hi) into dx (which must be pre-zeroed over those samples) — the
 // exported dx-leg body of Conv2DBackward. Each sample's dx slice is owned
 // by exactly one range and accumulated in the serial (of, oy, ox) order.
+//
+//mlperfvet:hotpath
 func Conv2DBackwardDxSamples(dx, x, w, dout *Tensor, stride, pad, lo, hi int) {
 	c, h, wd := x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
@@ -235,6 +243,8 @@ func Conv2DBackwardDxSamples(dx, x, w, dout *Tensor, stride, pad, lo, hi int) {
 // filters) — the exported dw-leg body of Conv2DBackward. Each filter's
 // slice of dw and its db entry are owned by exactly one range and
 // accumulated in the serial (in, oy, ox) order.
+//
+//mlperfvet:hotpath
 func Conv2DBackwardDwFilters(dw, db, x, dout *Tensor, stride, pad int, hasBias bool, lo, hi int) {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := dw.Shape[0], dw.Shape[2], dw.Shape[3]
@@ -341,7 +351,9 @@ func Im2col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 }
 
 // Im2colInto is Im2col with a caller-owned (pre-zeroed) patch matrix —
-// typically an arena-backed workspace reused across steps.
+// typically an arena-backed workspace reused across steps. (A fork
+// point, not a leaf kernel: it hands a per-call closure to the pool, so
+// it is deliberately not //mlperfvet:hotpath.)
 func Im2colInto(cols, x *Tensor, kh, kw, stride, pad int) {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	ho, wo := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
@@ -549,6 +561,8 @@ func MaxPool2D(x *Tensor, k, s int) (*Tensor, []int) {
 
 // MaxPool2DInto is MaxPool2D with caller-owned output storage: out must
 // have the pooled shape and arg length out.Size().
+//
+//mlperfvet:hotpath
 func MaxPool2DInto(out *Tensor, arg []int, x *Tensor, k, s int) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	ho, wo := out.Shape[2], out.Shape[3]
@@ -605,6 +619,8 @@ func GlobalAvgPool2D(x *Tensor) *Tensor {
 
 // GlobalAvgPool2DInto is GlobalAvgPool2D with caller-owned output storage
 // (out must be [N,C]).
+//
+//mlperfvet:hotpath
 func GlobalAvgPool2DInto(out, x *Tensor) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	plane := h * w

@@ -35,6 +35,8 @@ func (t *F32) Len() int { return len(t.Data) }
 // within the subnormal range like any other value). NaN and Inf pass
 // through unchanged; the rounding increment below would otherwise carry a
 // quiet-NaN mantissa into the exponent field.
+//
+//mlperfvet:hotpath
 func BF16Round(x float32) float32 {
 	b := math.Float32bits(x)
 	if b&0x7F800000 == 0x7F800000 { // NaN or Inf: exponent all ones
@@ -57,6 +59,8 @@ func BF16Round(x float32) float32 {
 // from f32 registers do, and the statistical verification regime absorbs
 // it. Shapes must match element-for-element. Passing Float64 panics: the
 // reference regime never stages through F32.
+//
+//mlperfvet:hotpath
 func (t *F32) FromF64(src *Tensor, d DType) {
 	if len(t.Data) != len(src.Data) {
 		panic(fmt.Sprintf("tensor: FromF64 length mismatch %d vs %d", len(t.Data), len(src.Data)))
@@ -77,6 +81,8 @@ func (t *F32) FromF64(src *Tensor, d DType) {
 
 // CopyToF64 widens t into dst (dst[i] = float64(t.Data[i])); widening is
 // exact, so the float32 result bits are preserved verbatim.
+//
+//mlperfvet:hotpath
 func (t *F32) CopyToF64(dst *Tensor) {
 	if len(t.Data) != len(dst.Data) {
 		panic(fmt.Sprintf("tensor: CopyToF64 length mismatch %d vs %d", len(t.Data), len(dst.Data)))
@@ -90,6 +96,8 @@ func (t *F32) CopyToF64(dst *Tensor) {
 // gradient hand-off of the reduced-precision backward pass: per-op
 // gradients are computed in float32 but summed across ops in float64, so
 // accumulation order effects stay at full precision.
+//
+//mlperfvet:hotpath
 func (t *F32) AddToF64(dst *Tensor) {
 	if len(t.Data) != len(dst.Data) {
 		panic(fmt.Sprintf("tensor: AddToF64 length mismatch %d vs %d", len(t.Data), len(dst.Data)))

@@ -121,6 +121,7 @@ func gemmNaive(v gemmVariant, c, a, b *Tensor, n, k, m int) {
 	})
 }
 
+//mlperfvet:hotpath
 func gemmNaiveRows(v gemmVariant, c, a, b *Tensor, lo, hi int) {
 	switch v {
 	case gemmNN:
@@ -136,6 +137,8 @@ func gemmNaiveRows(v gemmVariant, c, a, b *Tensor, lo, hi int) {
 // product. Tiles are independent — each worker of a ForTiles loop owns
 // one and draws its own pack buffers — and the depth (pc) loop runs in
 // ascending order inside the tile, so any tiling yields the serial bits.
+//
+//mlperfvet:hotpath
 func gemmTile(v gemmVariant, c, a, b *Tensor, k, r0, r1, c0, c1 int) {
 	ldc := c.Shape[1]
 	if k == 0 {
@@ -202,6 +205,8 @@ func gemmTile(v gemmVariant, c, a, b *Tensor, k, r0, r1, c0, c1 int) {
 // per depth step from one unit-stride stream. Rows past mc pad with
 // zeros: the padded lanes compute into accumulators that are never
 // stored, so padding cannot perturb real outputs.
+//
+//mlperfvet:hotpath
 func packANormal(dst, a []float64, lda, i0, mc, p0, kc int) {
 	for t := 0; t*gemmMR < mc; t++ {
 		rows := min(gemmMR, mc-t*gemmMR)
@@ -223,6 +228,8 @@ func packANormal(dst, a []float64, lda, i0, mc, p0, kc int) {
 // packATrans is packANormal for A = aᵀ with a stored [k, n] (lda = n):
 // logical A[i, p] = a[p·lda + i], so each depth step reads MR contiguous
 // elements of a row of a.
+//
+//mlperfvet:hotpath
 func packATrans(dst, a []float64, lda, i0, mc, p0, kc int) {
 	for t := 0; t*gemmMR < mc; t++ {
 		rows := min(gemmMR, mc-t*gemmMR)
@@ -244,6 +251,8 @@ func packATrans(dst, a []float64, lda, i0, mc, p0, kc int) {
 // packBNormal stages depth [p0, p0+kc) × columns [j0, j0+nc) of a
 // row-major [·, ldb] B operand into NR-wide strips, depth-major
 // ([kc][NR]), zero-padding columns past nc.
+//
+//mlperfvet:hotpath
 func packBNormal(dst, b []float64, ldb, p0, kc, j0, nc int) {
 	for s := 0; s*gemmNR < nc; s++ {
 		w := min(gemmNR, nc-s*gemmNR)
@@ -265,6 +274,8 @@ func packBNormal(dst, b []float64, ldb, p0, kc, j0, nc int) {
 // packBTrans is packBNormal for B = bᵀ with b stored [m, k] (ldb = k):
 // logical B[p, j] = b[j·ldb + p]. Columns iterate outermost so each
 // source row of b is read once, contiguously.
+//
+//mlperfvet:hotpath
 func packBTrans(dst, b []float64, ldb, p0, kc, j0, nc int) {
 	for s := 0; s*gemmNR < nc; s++ {
 		w := min(gemmNR, nc-s*gemmNR)
@@ -290,6 +301,8 @@ func packBTrans(dst, b []float64, ldb, p0, kc, j0, nc int) {
 // add term per element, in ascending depth order — the serial bits. The
 // amd64 build replaces it with the AVX2 assembly kernel (gemm_amd64.s),
 // which performs the same lane-wise IEEE operations.
+//
+//mlperfvet:hotpath
 func microKernel4x8(cd []float64, co, ldc int, ap, bp []float64, kc int, first bool) {
 	var c00, c01, c02, c03, c04, c05, c06, c07 float64
 	var c10, c11, c12, c13, c14, c15, c16, c17 float64
@@ -362,6 +375,8 @@ func microKernel4x8(cd []float64, co, ldc int, ap, bp []float64, kc int, first b
 // it computes the full padded MR×NR tile (padded lanes accumulate zeros)
 // but loads and stores only the real mr×nr elements. Same ascending-depth
 // accumulation, so edge tiles match the serial bits too.
+//
+//mlperfvet:hotpath
 func microKernelEdge(cd []float64, co, ldc int, ap, bp []float64, kc, mr, nr int, first bool) {
 	var acc [gemmMR * gemmNR]float64
 	if !first {

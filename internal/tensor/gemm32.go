@@ -72,6 +72,7 @@ func gemm32Naive(v gemmVariant, c, a, b *F32, n, k, m int) {
 	})
 }
 
+//mlperfvet:hotpath
 func gemm32NaiveRows(v gemmVariant, c, a, b *F32, lo, hi int) {
 	switch v {
 	case gemmNN:
@@ -85,6 +86,8 @@ func gemm32NaiveRows(v gemmVariant, c, a, b *F32, lo, hi int) {
 
 // gemm32Tile computes the output tile [r0, r1) × [c0, c1) of the blocked
 // float32 product — the f64 gemmTile with the 8×8 micro-kernel.
+//
+//mlperfvet:hotpath
 func gemm32Tile(v gemmVariant, c, a, b *F32, k, r0, r1, c0, c1 int) {
 	ldc := c.Shape[1]
 	if k == 0 {
@@ -147,6 +150,8 @@ func gemm32Tile(v gemmVariant, c, a, b *F32, k, r0, r1, c0, c1 int) {
 // row-major [·, lda] A operand into MR-tall, depth-major ([kc][MR])
 // panels, zero-padding rows past mc — the padded lanes compute into
 // accumulators that are never stored.
+//
+//mlperfvet:hotpath
 func packANormalF32(dst, a []float32, lda, i0, mc, p0, kc int) {
 	for t := 0; t*gemm32MR < mc; t++ {
 		rows := min(gemm32MR, mc-t*gemm32MR)
@@ -167,6 +172,8 @@ func packANormalF32(dst, a []float32, lda, i0, mc, p0, kc int) {
 
 // packATransF32 is packANormalF32 for A = aᵀ with a stored [k, n]:
 // logical A[i, p] = a[p·lda + i].
+//
+//mlperfvet:hotpath
 func packATransF32(dst, a []float32, lda, i0, mc, p0, kc int) {
 	for t := 0; t*gemm32MR < mc; t++ {
 		rows := min(gemm32MR, mc-t*gemm32MR)
@@ -188,6 +195,8 @@ func packATransF32(dst, a []float32, lda, i0, mc, p0, kc int) {
 // packBNormalF32 stages depth [p0, p0+kc) × columns [j0, j0+nc) of a
 // row-major [·, ldb] B operand into NR-wide, depth-major ([kc][NR])
 // strips, zero-padding columns past nc.
+//
+//mlperfvet:hotpath
 func packBNormalF32(dst, b []float32, ldb, p0, kc, j0, nc int) {
 	for s := 0; s*gemm32NR < nc; s++ {
 		w := min(gemm32NR, nc-s*gemm32NR)
@@ -209,6 +218,8 @@ func packBNormalF32(dst, b []float32, ldb, p0, kc, j0, nc int) {
 // packBTransF32 is packBNormalF32 for B = bᵀ with b stored [m, k]:
 // logical B[p, j] = b[j·ldb + p]. Columns iterate outermost so each source
 // row of b is read once, contiguously.
+//
+//mlperfvet:hotpath
 func packBTransF32(dst, b []float32, ldb, p0, kc, j0, nc int) {
 	for s := 0; s*gemm32NR < nc; s++ {
 		w := min(gemm32NR, nc-s*gemm32NR)
@@ -234,6 +245,8 @@ func packBTransF32(dst, b []float32, ldb, p0, kc, j0, nc int) {
 // ascending depth order — the serial bits. The amd64 build replaces it
 // with the AVX2 assembly kernel (gemm32_amd64.s), which performs the same
 // lane-wise IEEE operations.
+//
+//mlperfvet:hotpath
 func microKernel8x8F32(cd []float32, co, ldc int, ap, bp []float32, kc int, first bool) {
 	var acc [gemm32MR * gemm32NR]float32
 	if !first {
@@ -270,6 +283,8 @@ func microKernel8x8F32(cd []float32, co, ldc int, ap, bp []float32, kc int, firs
 // edges: it computes the full padded MR×NR tile but loads and stores only
 // the real mr×nr elements. Same ascending-depth accumulation, so edge
 // tiles match the serial bits too.
+//
+//mlperfvet:hotpath
 func microKernelEdgeF32(cd []float32, co, ldc int, ap, bp []float32, kc, mr, nr int, first bool) {
 	var acc [gemm32MR * gemm32NR]float32
 	if !first {

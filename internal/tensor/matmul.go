@@ -42,6 +42,8 @@ func MatMul(a, b *Tensor) *Tensor {
 // owned by exactly one range and accumulates over k in ascending order,
 // so any range split produces the serial bits. The blocked engine is held
 // bit-identical to this kernel on finite inputs (gemm_test.go).
+//
+//mlperfvet:hotpath
 func MatMulRows(c, a, b *Tensor, lo, hi int) {
 	k, m := a.Shape[1], b.Shape[1]
 	for i := lo; i < hi; i++ {
@@ -79,6 +81,8 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // MatMulTransARows computes output rows [lo, hi) of c = aᵀ·b, zeroing
 // them first — the naive reference kernel for the transposed-A variant.
 // Accumulation over p replays the serial order per element.
+//
+//mlperfvet:hotpath
 func MatMulTransARows(c, a, b *Tensor, lo, hi int) {
 	k, n := a.Shape[0], a.Shape[1]
 	m := b.Shape[1]
@@ -120,6 +124,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 // MatMulTransBRows computes output rows [lo, hi) of c = a·bᵀ — the naive
 // reference kernel for the transposed-B variant. Every output element is
 // fully overwritten, so no zeroing is needed.
+//
+//mlperfvet:hotpath
 func MatMulTransBRows(c, a, b *Tensor, lo, hi int) {
 	k, m := a.Shape[1], b.Shape[0]
 	for i := lo; i < hi; i++ {

@@ -46,6 +46,8 @@ func MatMulF32TransBInto(c, a, b *F32) {
 
 // MatMulF32Rows computes output rows [lo, hi) of c = a·b, zeroing them
 // first — the naive float32 reference kernel the engine is held to.
+//
+//mlperfvet:hotpath
 func MatMulF32Rows(c, a, b *F32, lo, hi int) {
 	k, m := a.Shape[1], b.Shape[1]
 	for i := lo; i < hi; i++ {
@@ -66,6 +68,8 @@ func MatMulF32Rows(c, a, b *F32, lo, hi int) {
 
 // MatMulF32TransARows computes output rows [lo, hi) of c = aᵀ·b, zeroing
 // them first.
+//
+//mlperfvet:hotpath
 func MatMulF32TransARows(c, a, b *F32, lo, hi int) {
 	k, n := a.Shape[0], a.Shape[1]
 	m := b.Shape[1]
@@ -90,6 +94,8 @@ func MatMulF32TransARows(c, a, b *F32, lo, hi int) {
 
 // MatMulF32TransBRows computes output rows [lo, hi) of c = a·bᵀ. Every
 // output element is fully overwritten, so no zeroing is needed.
+//
+//mlperfvet:hotpath
 func MatMulF32TransBRows(c, a, b *F32, lo, hi int) {
 	k, m := a.Shape[1], b.Shape[0]
 	for i := lo; i < hi; i++ {

@@ -68,7 +68,7 @@ func NewIn(a arena.Allocator, shape ...int) *Tensor {
 		Shape: append([]int(nil), shape...),
 		Data:  buf[:n:n],
 		src:   a,
-		raw:   buf,
+		raw:   buf, //mlperfvet:owns — the returned Tensor owns buf until Release
 	}
 }
 
