@@ -2,13 +2,13 @@ GO ?= go
 
 BENCH_SMOKE_OUT ?= bench-smoke.out
 
-.PHONY: all ci check fmt vet staticcheck lint build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32
+.PHONY: all ci check fmt vet staticcheck lint build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32 multiproc-smoke
 
 all: check
 
 # Everything CI runs, in the same order — reproduce any CI failure locally
 # with exactly `make ci` (the workflow jobs call these same targets).
-ci: check race bench-smoke smoke-f32
+ci: check race multiproc-smoke bench-smoke smoke-f32
 
 # The fast gate: formatting, static checks (incl. the repo's own analyzer
 # suite), a full build, and the fast tests.
@@ -52,6 +52,15 @@ test-short:
 # the run-set executor, and the arena are all concurrency-heavy.
 race:
 	$(GO) test -race -short ./...
+
+# Multi-process training smoke under the race detector: the grid tests
+# re-exec the test binary as real OS worker processes over loopback TCP and
+# require bit-identity with the in-process fabric and the serial baseline,
+# plus typed (not hung) detection of killed and hung workers. `make race`
+# skips these (-short); this target runs exactly them, with a hard timeout
+# so a transport hang fails fast instead of stalling CI.
+multiproc-smoke:
+	$(GO) test -race -run 'MultiProc' -timeout 300s -v ./internal/grid/
 
 # Every table/figure benchmark plus the kernel microbenchmarks.
 bench:

@@ -16,6 +16,7 @@ package repro
 // the bench-smoke awk gate asserts for every BenchmarkGEMM*.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/datasets"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // benchGEMMShape times c = a·b through the public MatMulInto entry point
@@ -35,6 +37,10 @@ func benchGEMMShape(b *testing.B, n, k, m int) {
 	y := tensor.Randn(rng, 1, k, m)
 	c := tensor.New(n, m)
 	tensor.MatMulInto(c, x, y) // warm the pack-buffer pool
+	// Collect the setup debris (operand tensors) now so a GC cycle's own
+	// bookkeeping cannot land inside the timed region; the warm loop
+	// allocates nothing, so no further GC can trigger. See bench_step_test.go.
+	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -52,6 +58,7 @@ func benchGEMMNaiveShape(b *testing.B, n, k, m int) {
 	x := tensor.Randn(rng, 1, n, k)
 	y := tensor.Randn(rng, 1, k, m)
 	c := tensor.New(n, m)
+	runtime.GC() // see benchGEMMShape
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -82,6 +89,7 @@ func benchGEMMF32Shape(b *testing.B, n, k, m int) {
 	y.FromF64(tensor.Randn(rng, 1, k, m), tensor.Float32)
 	c := tensor.NewF32(n, m)
 	tensor.MatMulF32Into(c, x, y) // warm the pack-buffer pool
+	runtime.GC()                  // see benchGEMMShape
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -113,7 +121,8 @@ func benchStepTransformerDP(b *testing.B, workers int) {
 	ds := datasets.GenerateMT(datasets.DefaultMTConfig())
 	hp := models.DefaultTransformerHParams()
 	eng, err := dist.New(dist.Config{
-		Workers: workers, Microshards: 8,
+		Endpoint:    transport.Endpoint{Workers: workers},
+		Microshards: 8,
 		GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
 	}, func(worker int) dist.Replica {
 		m := models.NewTranslation(ds, hp, 1)
@@ -142,7 +151,8 @@ func BenchmarkStepTransformerPP4(b *testing.B) {
 	hp := models.DefaultTransformerHParams()
 	var reps []*models.Translation
 	eng, err := pipeline.New(pipeline.Config{
-		Stages: 4, Workers: 1, Microbatches: 4, Schedule: pipeline.GPipe,
+		Endpoint: transport.Endpoint{Workers: 1},
+		Stages:   4, Microbatches: 4, Schedule: pipeline.GPipe,
 		GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
 	}, func(worker int) []pipeline.StageReplica {
 		m := models.NewTranslation(ds, hp, 1)

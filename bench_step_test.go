@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/pipeline"
+	"repro/internal/transport"
 )
 
 // Steady-state allocation benchmarks: after a short warmup, a training
@@ -30,7 +31,8 @@ func benchStepAllocsNCF(b *testing.B, workers int) {
 	ds := datasets.GenerateRec(datasets.DefaultRecConfig())
 	hp := models.DefaultNCFHParams()
 	eng, err := dist.New(dist.Config{
-		Workers: workers, Microshards: 8,
+		Endpoint:    transport.Endpoint{Workers: workers},
+		Microshards: 8,
 		GlobalBatch: 256, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
 	}, func(worker int) dist.Replica {
 		m := models.NewRecommendation(ds, hp, 1)
@@ -60,7 +62,8 @@ func benchStepAllocsResNet(b *testing.B, workers int) {
 	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
 	hp := models.DefaultImageHParams()
 	eng, err := dist.New(dist.Config{
-		Workers: workers, Microshards: 8,
+		Endpoint:    transport.Endpoint{Workers: workers},
+		Microshards: 8,
 		GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: 1, DropLast: true,
 	}, func(worker int) dist.Replica {
 		m := models.NewImageClassification(ds, hp, 1)
@@ -98,7 +101,8 @@ func benchStepPipeline(b *testing.B, stages, workers int, sched pipeline.Schedul
 	hp := models.DefaultImageHParams()
 	var reps []*models.ImageClassification
 	eng, err := pipeline.New(pipeline.Config{
-		Stages: stages, Workers: workers, Microbatches: 4, Schedule: sched,
+		Endpoint: transport.Endpoint{Workers: workers},
+		Stages:   stages, Microbatches: 4, Schedule: sched,
 		GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: 1, DropLast: true,
 	}, func(worker int) []pipeline.StageReplica {
 		m := models.NewImageClassification(ds, hp, 1)

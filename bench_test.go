@@ -27,6 +27,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/precision"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // --- Table 1: the benchmark suite ---
@@ -463,7 +464,8 @@ func benchDPNCFStepAt(b *testing.B, workers int) {
 	ds := datasets.GenerateRec(datasets.DefaultRecConfig())
 	hp := models.DefaultNCFHParams()
 	eng, err := dist.New(dist.Config{
-		Workers: workers, Microshards: 8,
+		Endpoint:    transport.Endpoint{Workers: workers},
+		Microshards: 8,
 		GlobalBatch: 256, DatasetN: len(ds.Train), Seed: 1,
 	}, func(worker int) dist.Replica {
 		m := models.NewRecommendation(ds, hp, 1)
@@ -490,7 +492,8 @@ func benchDPImageStepAt(b *testing.B, workers int) {
 	ds := datasets.GenerateImages(datasets.DefaultImageConfig())
 	hp := models.DefaultImageHParams()
 	eng, err := dist.New(dist.Config{
-		Workers: workers, Microshards: 8,
+		Endpoint:    transport.Endpoint{Workers: workers},
+		Microshards: 8,
 		GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: 1,
 	}, func(worker int) dist.Replica {
 		m := models.NewImageClassification(ds, hp, 1)

@@ -110,22 +110,16 @@ func main() {
 	for _, id := range ids {
 		// makeBench builds this benchmark under an arbitrary regime, so the
 		// stat verifier can construct the paired fp64 reference with the
-		// same parallelism topology.
+		// same parallelism topology. The whole flag surface folds into one
+		// TrainConfig; Configure routes it to the right engine.
 		makeBench := func(n precision.Numerics) (core.Benchmark, error) {
-			switch {
-			case *ppStages > 0:
-				dpWorkers := *dp // per-stage replicas, unrelated to the -workers kernel pool
-				if dpWorkers < 1 {
-					dpWorkers = 1
-				}
-				return core.PPBenchmarkDType(v, id, *ppStages, dpWorkers, *ppMicro, *ppSched, n.Compute)
-			case *dp > 0:
-				return core.DPBenchmarkNumerics(v, id, *dp, *dpShards, n)
-			case n.Compute != tensor.Float64 || n.Mixed:
-				return core.NumericsBenchmark(v, id, n)
-			default:
-				return core.FindBenchmark(v, id)
-			}
+			return core.Configure(v, id, core.TrainConfig{
+				Parallel: core.Parallel{
+					DP: *dp, Microshards: *dpShards, // -dp is per-stage replicas under -pp-stages, unrelated to the -workers kernel pool
+					PPStages: *ppStages, PPSchedule: *ppSched, Microbatches: *ppMicro,
+				},
+				Numerics: n,
+			})
 		}
 		b, err := makeBench(num)
 		if err != nil {

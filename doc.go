@@ -10,7 +10,12 @@
 //	                      the fp64 stack is gated bitwise, reduced
 //	                      numerics are gated by StatCheck, the §3.3
 //	                      epochs-to-quality quantile comparison over
-//	                      paired run sets
+//	                      paired run sets. TrainConfig + Configure is the
+//	                      one run-configuration surface (topology ×
+//	                      numerics × transport); the per-axis constructors
+//	                      (DPBenchmark, PPBenchmark, NumericsBenchmark,
+//	                      ...) are deprecated delegates. Run surfaces
+//	                      sticky engine failures as RunResult.Err
 //	internal/parallel   — worker pool + sharded loops and 2-D tile loops
 //	                      (ForTiles: row×column output tiles, so skinny and
 //	                      short matrices keep every worker busy;
@@ -49,6 +54,21 @@
 //	                      model stages, GPipe/1F1B microbatch schedules,
 //	                      hybrid DP×PP via per-stage ring groups;
 //	                      bit-identical across stages/schedules/workers)
+//	internal/transport  — pluggable communication substrate under the
+//	                      engines (the Mesh contract): the in-process
+//	                      channel fabric (the bit-identity oracle) and a
+//	                      TCP backend with length-prefixed CRC frames,
+//	                      deadlines, and retry/backoff; plus the
+//	                      rendezvous coordinator/session (membership,
+//	                      heartbeat failure detection). Failure is always
+//	                      a typed *PeerError, never a hang
+//	internal/grid       — multi-process DP×PP training: one OS process per
+//	                      grid cell (rank k·S+s = replica k, stage s),
+//	                      launcher/worker harness (cmd/mlperf-worker),
+//	                      FNV-1a parameter-trajectory digests, and the
+//	                      in-process Reference run the TCP grid must
+//	                      reproduce bit-for-bit
+//	internal/leakcheck  — goroutine-leak assertions for teardown tests
 //	internal/goboard    — Go engine; internal/mcts — self-play search
 //	internal/mlog       — MLLOG structured logging
 //	internal/clock      — injectable clocks (Real wall clock, Tick, Sim);

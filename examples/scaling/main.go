@@ -36,6 +36,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -100,7 +101,8 @@ func runPPMeasured(steps, batch int) {
 	distStep := func(workers int) time.Duration {
 		var reps []*models.ImageClassification
 		eng, err := dist.New(dist.Config{
-			Workers: workers, Microshards: micro,
+			Endpoint:    transport.Endpoint{Workers: workers},
+			Microshards: micro,
 			GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
 		}, func(worker int) dist.Replica {
 			m := models.NewImageClassification(ds, hp, seed)
@@ -120,7 +122,8 @@ func runPPMeasured(steps, batch int) {
 	pipeStep := func(stages, workers int, sched pipeline.Schedule) (time.Duration, pipeline.Stats) {
 		var reps []*models.ImageClassification
 		eng, err := pipeline.New(pipeline.Config{
-			Stages: stages, Workers: workers, Microbatches: micro, Schedule: sched,
+			Endpoint: transport.Endpoint{Workers: workers},
+			Stages:   stages, Microbatches: micro, Schedule: sched,
 			GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
 		}, func(worker int) []pipeline.StageReplica {
 			m := models.NewImageClassification(ds, hp, seed)
@@ -203,7 +206,8 @@ func runMeasured(steps, batch int) {
 	var flatBytes int
 	for _, k := range []int{1, 2, 4, 8} {
 		eng, err := dist.New(dist.Config{
-			Workers: k, Microshards: microshards,
+			Endpoint:    transport.Endpoint{Workers: k},
+			Microshards: microshards,
 			GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
 		}, func(worker int) dist.Replica {
 			m := models.NewRecommendation(ds, hp, seed)

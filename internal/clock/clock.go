@@ -18,6 +18,14 @@ type Clock interface {
 	Now() time.Duration
 }
 
+// After returns the wall-clock instant d from now — the absolute-deadline
+// form net.Conn's Set*Deadline methods require. It lives here because
+// detlint forbids time.Now outside this package: transport deadline math
+// routes through After, keeping the wall clock out of engine code while
+// still letting the TCP backend arm real I/O deadlines (deadlines bound
+// failure detection; they never feed results or timing metrics).
+func After(d time.Duration) time.Time { return time.Now().Add(d) }
+
 // Real measures wall time from its creation.
 type Real struct{ start time.Time }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/precision"
+	"repro/internal/transport"
 )
 
 // DPBenchmark returns a copy of the suite benchmark whose New constructor
@@ -20,6 +21,8 @@ import (
 // workers divides 8, else workers). Runs that share seed, global batch, and
 // microshards produce bit-identical parameters at every worker count
 // dividing microshards — the dist determinism contract.
+//
+// Deprecated: build a TrainConfig and call Configure instead.
 func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, error) {
 	return DPBenchmarkNumerics(v, id, workers, microshards, precision.Numerics{})
 }
@@ -30,7 +33,20 @@ func DPBenchmark(v Version, id string, workers, microshards int) (Benchmark, err
 // trainer. The zero-value regime is exactly DPBenchmark. The numerics
 // live in the engine config — not the model hyperparameters — because the
 // engine owns the tapes and the step bracket in data-parallel training.
+//
+// Deprecated: build a TrainConfig and call Configure instead.
 func DPBenchmarkNumerics(v Version, id string, workers, microshards int, num precision.Numerics) (Benchmark, error) {
+	if workers < 1 {
+		return Benchmark{}, fmt.Errorf("core: data-parallel worker count %d < 1", workers)
+	}
+	return Configure(v, id, TrainConfig{
+		Parallel: Parallel{DP: workers, Microshards: microshards},
+		Numerics: num,
+	})
+}
+
+// dpBenchmark is Configure's data-parallel path.
+func dpBenchmark(v Version, id string, workers, microshards int, num precision.Numerics) (Benchmark, error) {
 	b, err := FindBenchmark(v, id)
 	if err != nil {
 		return Benchmark{}, err
@@ -64,7 +80,8 @@ func DPBenchmarkNumerics(v Version, id string, workers, microshards int, num pre
 			hp := models.DefaultNCFHParams()
 			var reps []*models.Recommendation
 			eng, err := dist.New(dist.Config{
-				Workers: workers, Microshards: microshards,
+				Endpoint:    transport.Endpoint{Workers: workers},
+				Microshards: microshards,
 				GlobalBatch: hp.Batch, DatasetN: len(ds.Train), Seed: seed, Arena: pool,
 				Numerics: num,
 			}, func(worker int) dist.Replica {
@@ -83,7 +100,8 @@ func DPBenchmarkNumerics(v Version, id string, workers, microshards int, num pre
 			hp := imageHParams(v)
 			var reps []*models.ImageClassification
 			eng, err := dist.New(dist.Config{
-				Workers: workers, Microshards: microshards,
+				Endpoint:    transport.Endpoint{Workers: workers},
+				Microshards: microshards,
 				GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: seed, Arena: pool,
 				Numerics: num,
 			}, func(worker int) dist.Replica {

@@ -28,7 +28,14 @@ func NumericsTag(num precision.Numerics) string {
 //
 // Evaluation always runs in float64 regardless of regime, so quality
 // values on the two sides of a StatCheck are measured identically.
+//
+// Deprecated: build a TrainConfig and call Configure instead.
 func NumericsBenchmark(v Version, id string, num precision.Numerics) (Benchmark, error) {
+	return Configure(v, id, TrainConfig{Numerics: num})
+}
+
+// numericsBenchmark is Configure's serial reduced-numerics path.
+func numericsBenchmark(v Version, id string, num precision.Numerics) (Benchmark, error) {
 	b, err := FindBenchmark(v, id)
 	if err != nil {
 		return Benchmark{}, err

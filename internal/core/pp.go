@@ -6,7 +6,9 @@ import (
 	"repro/internal/arena"
 	"repro/internal/models"
 	"repro/internal/pipeline"
+	"repro/internal/precision"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // PPBenchmark returns a copy of the suite benchmark whose New constructor
@@ -24,6 +26,7 @@ import (
 // the engine's determinism contract. (As with DPBenchmark, BatchNorm
 // running statistics accumulate per replica from its own microbatches, so
 // measured quality can differ slightly across worker counts.)
+// Deprecated: build a TrainConfig and call Configure instead.
 func PPBenchmark(v Version, id string, stages, workers, microbatches int, schedule string) (Benchmark, error) {
 	return PPBenchmarkDType(v, id, stages, workers, microbatches, schedule, tensor.Float64)
 }
@@ -34,7 +37,25 @@ func PPBenchmark(v Version, id string, stages, workers, microbatches int, schedu
 // scaling) is a whole-model step bracket and does not decompose across
 // stage shards; use DPBenchmarkNumerics or the serial NumericsBenchmark
 // for the bf16+mp regime.
+//
+// Deprecated: build a TrainConfig and call Configure instead.
 func PPBenchmarkDType(v Version, id string, stages, workers, microbatches int, schedule string, dtype tensor.DType) (Benchmark, error) {
+	// Validate here rather than delegating: stages == 0 would otherwise fold
+	// into TrainConfig's "no pipeline" topology instead of erroring.
+	if stages < 1 {
+		return Benchmark{}, fmt.Errorf("core: pipeline stage count %d < 1", stages)
+	}
+	if workers < 1 {
+		return Benchmark{}, fmt.Errorf("core: pipeline worker count %d < 1", workers)
+	}
+	return Configure(v, id, TrainConfig{
+		Parallel: Parallel{DP: workers, PPStages: stages, PPSchedule: schedule, Microbatches: microbatches},
+		Numerics: precision.Numerics{Compute: dtype},
+	})
+}
+
+// ppBenchmark is Configure's pipeline-parallel path.
+func ppBenchmark(v Version, id string, stages, workers, microbatches int, schedule string, dtype tensor.DType) (Benchmark, error) {
 	b, err := FindBenchmark(v, id)
 	if err != nil {
 		return Benchmark{}, err
@@ -65,7 +86,8 @@ func PPBenchmarkDType(v Version, id string, stages, workers, microbatches int, s
 			hp := imageHParams(v)
 			var reps []*models.ImageClassification
 			eng, err := pipeline.New(pipeline.Config{
-				Stages: stages, Workers: workers, Microbatches: microbatches,
+				Endpoint: transport.Endpoint{Workers: workers},
+				Stages:   stages, Microbatches: microbatches,
 				Schedule: sched, GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN,
 				Seed: seed, Arena: pool, DType: dtype,
 			}, func(worker int) []pipeline.StageReplica {
@@ -89,7 +111,8 @@ func PPBenchmarkDType(v Version, id string, stages, workers, microbatches int, s
 			hp := models.DefaultTransformerHParams()
 			var reps []*models.Translation
 			eng, err := pipeline.New(pipeline.Config{
-				Stages: stages, Workers: workers, Microbatches: microbatches,
+				Endpoint: transport.Endpoint{Workers: workers},
+				Stages:   stages, Microbatches: microbatches,
 				Schedule: sched, GlobalBatch: hp.Batch, DatasetN: len(ds.Train),
 				Seed: seed, Arena: pool, DType: dtype,
 			}, func(worker int) []pipeline.StageReplica {

@@ -79,6 +79,19 @@ func (rs *ResultSet) Score(required int) (time.Duration, error) {
 	return OlympicMean(times[:required]), nil
 }
 
+// FirstErr returns the first run-level failure in the set (a worker
+// process dying or straggling mid-run surfaces here via RunResult.Err), or
+// nil if every run finished cleanly. A set with failures has no valid
+// score: the failed runs can never satisfy the required converged count.
+func (rs *ResultSet) FirstErr() error {
+	for i, r := range rs.Runs {
+		if r.Err != nil {
+			return fmt.Errorf("core: %s run %d (seed %d) failed: %w", rs.Benchmark, i, r.Seed, r.Err)
+		}
+	}
+	return nil
+}
+
 // EpochsToTarget returns, per converged run, the number of epochs needed —
 // the quantity whose run-to-run distribution Figure 2 plots.
 func (rs *ResultSet) EpochsToTarget() []int {

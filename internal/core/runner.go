@@ -58,6 +58,10 @@ type RunResult struct {
 	FinalQuality float64
 	// Converged reports whether the quality target was reached.
 	Converged bool
+	// Err is the workload's sticky training failure, if any — e.g. a
+	// *transport.PeerError when a multi-process peer died mid-run. A failed
+	// run never converges; its epochs stop at the failure.
+	Err error
 	// QualityCurve holds the per-evaluation quality values.
 	QualityCurve []float64
 	// Log is the structured training-session log.
@@ -133,6 +137,15 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 		loss := w.TrainEpoch()
 		logger.Log(mlog.Event{TimeMS: ms(clock.Now()), Key: mlog.KeyEpochStop, Epoch: epoch, Value: loss})
 		res.Epochs = epoch + 1
+		// Engine-backed workloads fail sticky instead of panicking when a
+		// peer dies or straggles; surface that as a run-level error rather
+		// than evaluating a half-trained model.
+		if f, ok := w.(interface{ Err() error }); ok {
+			if err := f.Err(); err != nil {
+				res.Err = err
+				break
+			}
+		}
 		if (epoch+1)%evalEvery != 0 && epoch+1 < maxEpochs {
 			continue
 		}
@@ -153,6 +166,9 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 	if res.Converged {
 		status = "success"
 	}
+	if res.Err != nil {
+		status = "failed"
+	}
 	logger.Simple(ms(runStop), mlog.KeyRunStop, status)
 	logger.Simple(ms(runStop), mlog.KeyStatus, status)
 	res.TimeToTrain = runStop - runStart + penalty
@@ -170,6 +186,10 @@ func (r RunResult) String() string {
 	conv := "DNF"
 	if r.Converged {
 		conv = "converged"
+	}
+	if r.Err != nil {
+		return fmt.Sprintf("%s seed=%d FAILED epochs=%d err=%v",
+			r.Benchmark, r.Seed, r.Epochs, r.Err)
 	}
 	return fmt.Sprintf("%s seed=%d %s epochs=%d quality=%.4f ttt=%s",
 		r.Benchmark, r.Seed, conv, r.Epochs, r.FinalQuality, r.TimeToTrain.Round(time.Millisecond))

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/parallel"
+	"repro/internal/transport"
 )
 
 // TestStepAllocsZero asserts the steady-state contract end to end: once a
@@ -25,7 +26,8 @@ func TestStepAllocsZero(t *testing.T) {
 	hp := models.DefaultNCFHParams()
 	for _, workers := range []int{1, 4} {
 		eng, err := dist.New(dist.Config{
-			Workers: workers, Microshards: 8,
+			Endpoint:    transport.Endpoint{Workers: workers},
+			Microshards: 8,
 			GlobalBatch: 256, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
 		}, func(worker int) dist.Replica {
 			m := models.NewRecommendation(ds, hp, 1)
@@ -55,7 +57,8 @@ func TestArenaRecyclingAcrossEngines(t *testing.T) {
 	pool := arena.New()
 	run := func() {
 		eng, err := dist.New(dist.Config{
-			Workers: 2, Microshards: 4, Arena: pool,
+			Endpoint:    transport.Endpoint{Workers: 2},
+			Microshards: 4, Arena: pool,
 			GlobalBatch: 64, DatasetN: len(ds.Train), Seed: 1, DropLast: true,
 		}, func(worker int) dist.Replica {
 			m := models.NewRecommendation(ds, hp, 1)
@@ -90,7 +93,8 @@ func TestCloseIdempotent(t *testing.T) {
 	hp := models.DefaultNCFHParams()
 	for _, workers := range []int{1, 2} {
 		eng, err := dist.New(dist.Config{
-			Workers: workers, GlobalBatch: 16, DatasetN: len(ds.Train), Seed: 1,
+			Endpoint:    transport.Endpoint{Workers: workers},
+			GlobalBatch: 16, DatasetN: len(ds.Train), Seed: 1,
 		}, func(worker int) dist.Replica {
 			m := models.NewRecommendation(ds, hp, 1)
 			return dist.Replica{Model: m, Opt: m.Opt}

@@ -9,6 +9,14 @@
 // package executes it, so scaling curves can be measured instead of only
 // simulated.
 //
+// The ring runs over the pluggable transport layer (internal/transport):
+// by default the workers are goroutines exchanging chunks through the
+// in-process channel fabric, but with Config.Mesh set the engine runs in
+// multi-process shard mode — it hosts only the worker Config.Rank names and
+// reduces gradients with the other OS processes over TCP (launched by
+// cmd/mlperf-worker; see internal/grid). Message copies preserve float64
+// bits, so the backend never affects results.
+//
 // # Determinism
 //
 // Gradient aggregation uses a fixed reduction order, making training
@@ -38,6 +46,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/precision"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // Trainable is the per-replica model contract. internal/models workloads
@@ -65,10 +74,13 @@ type Replica struct {
 	Opt   opt.Optimizer
 }
 
-// Config parameterizes the engine.
+// Config parameterizes the engine. The embedded transport.Endpoint carries
+// the communication-group spec shared with pipeline.Config: Workers (K),
+// Chunks, Clock, and the transport selection (Backend/Mesh/Rank for
+// multi-process shard mode).
 type Config struct {
-	// Workers is K, the number of data-parallel workers (>= 1).
-	Workers int
+	transport.Endpoint
+
 	// GlobalBatch is the per-step example count, split over microshards.
 	GlobalBatch int
 	// Microshards is F, the fixed gradient-reduction granularity; it must
@@ -76,9 +88,6 @@ type Config struct {
 	// worker count, but cross-worker-count bit-identity requires pinning
 	// Microshards to one value (e.g. 8) for every run being compared.
 	Microshards int
-	// Chunks is the ring all-reduce chunk count (the pipelining grain);
-	// 0 selects Workers. It never affects results, only message sizing.
-	Chunks int
 	// DatasetN is the number of training examples the engine's loader
 	// shuffles over.
 	DatasetN int
@@ -104,20 +113,18 @@ type Config struct {
 	// deterministic function of the identical all-reduced gradients, so
 	// the per-replica MP trainers stay in lockstep.
 	Numerics precision.Numerics
-	// Clock times Step for Stats.StepTime. Nil selects a wall clock;
-	// tests inject a deterministic clock (e.g. clock.Sim) so measured
-	// step times are reproducible.
-	Clock clock.Clock
 }
 
 // Stats counts the engine's communication and compute activity.
 type Stats struct {
 	// Steps is the number of optimizer steps taken.
 	Steps int
-	// RingMessages is the number of point-to-point chunk transfers.
+	// RingMessages is the number of point-to-point chunk transfers,
+	// counted for the whole ring (all members, also in shard mode where
+	// only one member runs in this process).
 	RingMessages int
 	// RingBytes is the total payload moved over ring links (8 bytes per
-	// float64 element).
+	// float64 element), counted for the whole ring like RingMessages.
 	RingBytes int
 	// StepTime is cumulative wall time spent inside Step.
 	StepTime time.Duration
@@ -128,6 +135,12 @@ type Engine struct {
 	cfg    Config
 	chunks int
 
+	// owned lists the worker indices this process hosts: all of [0, K) in
+	// the default in-process mode, exactly {Config.Rank} in multi-process
+	// shard mode. Per-worker slices below are K long with nil entries for
+	// workers hosted elsewhere.
+	owned []int
+
 	replicas []Replica
 	params   [][]*autograd.Param // cached per-replica parameter lists
 	flatLen  int
@@ -136,12 +149,12 @@ type Engine struct {
 	epoch  int
 	step   int
 
-	gbuf   [][]float64 // F microshard gradient rows, each flatLen long
-	agg    [][]float64 // K per-worker aggregated gradients
+	gbuf   [][]float64 // F microshard gradient rows (owned microshards only)
+	agg    [][]float64 // K per-worker aggregated gradients (owned only)
 	losses []float64   // F per-microshard weighted losses
 
 	// ring is the chunked all-reduce collective, allocated once from the
-	// engine arena: its channels are fully drained by the end of every step
+	// engine arena: its lanes are fully drained by the end of every step
 	// and the traveling chunk buffers are quiescent after the step barrier,
 	// so reuse keeps allocation out of the timed hot path that
 	// Stats.StepTime measures.
@@ -164,18 +177,28 @@ type Engine struct {
 	stepWG  sync.WaitGroup
 	closed  bool
 
+	// First step failure (a peer death, a transport error) — sticky; once
+	// set the engine refuses further steps. Guarded by failMu: workers
+	// record concurrently, Step/Err read.
+	failMu  sync.Mutex
+	failErr error
+
 	// clock times Step (Config.Clock, defaulted in New).
 	clock clock.Clock
 
 	stats Stats
 }
 
-// New builds an engine. factory is called sequentially for worker
-// 0..Workers-1 and must return replicas with bit-identical initial
+// New builds an engine. factory is called sequentially for each worker this
+// process hosts — 0..Workers-1 in the default mode, only Config.Rank in
+// shard mode — and must return replicas with bit-identical initial
 // parameters (build the same model from the same seed).
 func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
-	if cfg.Workers < 1 {
-		return nil, fmt.Errorf("dist: Workers %d < 1", cfg.Workers)
+	if err := cfg.Endpoint.Validate("dist"); err != nil {
+		return nil, err
+	}
+	if cfg.Sharded() && cfg.Mesh.World() != cfg.Workers {
+		return nil, fmt.Errorf("dist: Mesh world %d != Workers %d", cfg.Mesh.World(), cfg.Workers)
 	}
 	if cfg.GlobalBatch < 1 {
 		return nil, fmt.Errorf("dist: GlobalBatch %d < 1", cfg.GlobalBatch)
@@ -185,9 +208,6 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	}
 	if cfg.DropLast && cfg.GlobalBatch > cfg.DatasetN {
 		return nil, fmt.Errorf("dist: DropLast with GlobalBatch %d > DatasetN %d yields zero steps per epoch", cfg.GlobalBatch, cfg.DatasetN)
-	}
-	if cfg.Chunks < 0 {
-		return nil, fmt.Errorf("dist: Chunks %d < 0 (0 selects Workers)", cfg.Chunks)
 	}
 	if cfg.Microshards < 0 {
 		return nil, fmt.Errorf("dist: Microshards %d < 0 (0 selects Workers)", cfg.Microshards)
@@ -213,21 +233,35 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	if e.clock == nil {
 		e.clock = clock.NewReal()
 	}
-	for w := 0; w < cfg.Workers; w++ {
+	if cfg.Sharded() {
+		e.owned = []int{cfg.Rank}
+	} else {
+		e.owned = make([]int, cfg.Workers)
+		for w := range e.owned {
+			e.owned[w] = w
+		}
+	}
+	e.replicas = make([]Replica, cfg.Workers)
+	e.params = make([][]*autograd.Param, cfg.Workers)
+	for _, w := range e.owned {
 		rep := factory(w)
 		if rep.Model == nil || rep.Opt == nil {
 			return nil, fmt.Errorf("dist: factory returned incomplete replica %d", w)
 		}
-		e.replicas = append(e.replicas, rep)
-		e.params = append(e.params, rep.Model.Params())
+		e.replicas[w] = rep
+		e.params[w] = rep.Model.Params()
 	}
-	e.flatLen = autograd.FlatSize(e.params[0])
+	e.flatLen = autograd.FlatSize(e.params[e.owned[0]])
 	if e.flatLen == 0 {
 		return nil, fmt.Errorf("dist: replica has no parameters")
 	}
-	for w := 1; w < cfg.Workers; w++ {
-		if !autograd.ParamsEqual(e.params[w], e.params[0]) {
-			return nil, fmt.Errorf("dist: replica %d parameters differ from replica 0 (factory must build identical replicas)", w)
+	// Cross-replica identity is only checkable within this process; in
+	// shard mode the bit-identity of remote replicas is the launcher's
+	// responsibility (same factory, same seed) and the trajectory digests
+	// exchanged through the rendezvous verify it after the fact.
+	for _, w := range e.owned {
+		if w != e.owned[0] && !autograd.ParamsEqual(e.params[w], e.params[e.owned[0]]) {
+			return nil, fmt.Errorf("dist: replica %d parameters differ from replica %d (factory must build identical replicas)", w, e.owned[0])
 		}
 	}
 
@@ -243,16 +277,23 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 		e.buffers = arena.New()
 	}
 	e.gbuf = make([][]float64, cfg.Microshards)
-	for m := range e.gbuf {
-		e.gbuf[m] = e.buffers.Get(e.flatLen) //mlperfvet:owns — engine state, released in Close
-	}
 	e.agg = make([][]float64, cfg.Workers)
-	for w := range e.agg {
+	K, F := cfg.Workers, cfg.Microshards
+	for _, w := range e.owned {
+		for m := w * F / K; m < (w+1)*F/K; m++ {
+			e.gbuf[m] = e.buffers.Get(e.flatLen) //mlperfvet:owns — engine state, released in Close
+		}
 		e.agg[w] = e.buffers.Get(e.flatLen) //mlperfvet:owns — engine state, released in Close
 	}
 	e.losses = make([]float64, cfg.Microshards)
 	e.shards = make([][]int, cfg.Microshards)
-	e.ring = NewRing(cfg.Workers, cfg.Chunks, e.flatLen, e.buffers)
+	if cfg.Sharded() {
+		eps := make([]transport.Mesh, cfg.Workers)
+		eps[cfg.Rank] = cfg.Mesh
+		e.ring = NewRingOver(eps, cfg.Chunks, e.flatLen, e.buffers)
+	} else {
+		e.ring = NewRing(cfg.Workers, cfg.Chunks, e.flatLen, e.buffers)
+	}
 	e.chunks = e.ring.Chunks()
 
 	// Per-worker steady-state state: a tape backed by a private free list
@@ -261,7 +302,7 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	e.tapes = make([]*autograd.Tape, cfg.Workers)
 	e.locals = make([]*arena.Local, cfg.Workers)
 	e.mps = make([]*precision.MP, cfg.Workers)
-	for w := range e.tapes {
+	for _, w := range e.owned {
 		e.locals[w] = e.buffers.NewLocal()
 		e.tapes[w] = autograd.NewTapeIn(e.locals[w]) //mlperfvet:owns — engine state, released in Close
 		e.tapes[w].SetDType(cfg.Numerics.Compute)
@@ -272,14 +313,17 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 	// Persistent worker goroutines: spawning per step would put one
 	// goroutine + closure allocation per worker on the hot path; instead
 	// each worker parks on its start channel and the step barrier is the
-	// shared WaitGroup.
-	if cfg.Workers > 1 {
+	// shared WaitGroup. A single owned worker (serial engines, shard mode)
+	// runs inline on the Step goroutine instead.
+	if len(e.owned) > 1 {
 		e.startCh = make([]chan struct{}, cfg.Workers)
-		for w := 0; w < cfg.Workers; w++ {
+		for _, w := range e.owned {
 			e.startCh[w] = make(chan struct{}, 1)
 			go func(w int) {
 				for range e.startCh[w] {
-					e.runWorker(w, e.shards, e.invB)
+					if err := e.runWorker(w, e.shards, e.invB); err != nil {
+						e.fail(err)
+					}
 					e.stepWG.Done()
 				}
 			}(w)
@@ -290,8 +334,9 @@ func New(cfg Config, factory func(worker int) Replica) (*Engine, error) {
 
 // Close stops the engine's persistent worker goroutines and returns the
 // engine's gradient, aggregate, and ring buffers to its arena (relevant
-// when Config.Arena is shared across engines). The engine must not be
-// stepped afterwards; Close is idempotent and safe on serial
+// when Config.Arena is shared across engines). In shard mode the injected
+// Mesh is NOT closed — its lifecycle belongs to the launcher. The engine
+// must not be stepped afterwards; Close is idempotent and safe on serial
 // (Workers == 1) engines.
 func (e *Engine) Close() {
 	if e.closed {
@@ -299,13 +344,19 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	for _, ch := range e.startCh {
-		close(ch)
+		if ch != nil {
+			close(ch)
+		}
 	}
 	for _, buf := range e.gbuf {
-		e.buffers.Put(buf)
+		if buf != nil {
+			e.buffers.Put(buf)
+		}
 	}
 	for _, buf := range e.agg {
-		e.buffers.Put(buf)
+		if buf != nil {
+			e.buffers.Put(buf)
+		}
 	}
 	e.ring.Close()
 	e.gbuf, e.agg = nil, nil
@@ -314,21 +365,24 @@ func (e *Engine) Close() {
 	// lists and spill those to the shared arena so the next engine drawing
 	// from cfg.Arena reuses the full working set. Safe from this
 	// goroutine: the workers are stopped.
-	for w := range e.tapes {
+	for _, w := range e.owned {
 		e.tapes[w].ReleaseBuffers()
 		e.locals[w].Flush()
 	}
 }
 
-// Workers returns the engine's worker count.
+// Workers returns the engine's worker count (the whole group, also in shard
+// mode).
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
 // Replica returns worker w's replica (replica 0 is the conventional source
-// for evaluation).
+// for evaluation). In shard mode only the local rank's replica exists;
+// other workers return a zero Replica.
 func (e *Engine) Replica(w int) Replica { return e.replicas[w] }
 
-// Params returns replica 0's parameters.
-func (e *Engine) Params() []*autograd.Param { return e.params[0] }
+// Params returns the first locally-hosted replica's parameters (replica 0
+// in the default mode, the local rank's in shard mode).
+func (e *Engine) Params() []*autograd.Param { return e.params[e.owned[0]] }
 
 // FlatSize returns the flattened gradient length (the all-reduce payload in
 // elements; multiply by 8 for bytes).
@@ -346,10 +400,28 @@ func (e *Engine) StepsPerEpoch() int { return e.loader.StepsPerEpoch() }
 // Stats returns cumulative activity counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// InSync reports whether all replicas hold bit-identical parameters.
+// Err returns the first failure recorded by a step — a peer death or
+// transport error, typically a *transport.PeerError — or nil. Once set,
+// further Steps are refused (they return 0 immediately).
+func (e *Engine) Err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
+}
+
+func (e *Engine) fail(err error) {
+	e.failMu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	e.failMu.Unlock()
+}
+
+// InSync reports whether all locally-hosted replicas hold bit-identical
+// parameters (trivially true in shard mode).
 func (e *Engine) InSync() bool {
-	for w := 1; w < len(e.params); w++ {
-		if !autograd.ParamsEqual(e.params[w], e.params[0]) {
+	for _, w := range e.owned {
+		if !autograd.ParamsEqual(e.params[w], e.params[e.owned[0]]) {
 			return false
 		}
 	}
@@ -395,12 +467,15 @@ func (e *Engine) StepNext() float64 {
 }
 
 // TrainEpoch runs one full pass over the training data and returns the mean
-// per-step loss.
+// per-step loss. A step failure (see Err) ends the epoch early.
 func (e *Engine) TrainEpoch() float64 {
 	steps := e.loader.StepsPerEpoch()
 	total := 0.0
 	for i := 0; i < steps; i++ {
 		total += e.StepNext()
+		if e.Err() != nil {
+			break
+		}
 	}
 	e.epoch++
 	return total / float64(steps)
@@ -411,8 +486,15 @@ func (e *Engine) TrainEpoch() float64 {
 // the workers ring-all-reduce the flattened gradients, and every replica
 // applies the identical aggregated update once. Returns the global mean
 // loss (the microshard-size-weighted mean, equal to the mean over all
-// examples).
+// examples). In shard mode every process must call Step with the identical
+// index set (the seeded loaders guarantee this for StepNext), and the
+// return value is only the LOCAL microshards' loss contribution — sum it
+// across processes (e.g. through the rendezvous results) for the global
+// mean. After a failure (Err non-nil) Step returns 0 without stepping.
 func (e *Engine) Step(idx []int) float64 {
+	if e.Err() != nil {
+		return 0
+	}
 	start := e.clock.Now()
 	K, F := e.cfg.Workers, e.cfg.Microshards
 
@@ -421,21 +503,34 @@ func (e *Engine) Step(idx []int) float64 {
 	}
 	e.invB = 1 / float64(len(idx))
 
-	if K == 1 {
-		e.runWorker(0, e.shards, e.invB)
+	if len(e.owned) == 1 {
+		// Serial engines (K == 1) and shard mode both host one worker: run
+		// it inline on the caller's goroutine (in shard mode the other
+		// members are other OS processes rendezvousing inside AllReduce).
+		if err := e.runWorker(e.owned[0], e.shards, e.invB); err != nil {
+			e.fail(err)
+		}
 	} else {
 		// Wake the persistent workers (spawned in New) and wait for the
 		// step barrier. The channel sends happen-before each worker's
 		// iteration, so the shard/invB writes above are visible to it; the
 		// WaitGroup orders the workers' writes before the loss reduction
 		// below. The workers rendezvous inside Ring.AllReduce, whose
-		// buffered channels make every send non-blocking, so the two
+		// buffered lanes make every send non-blocking, so the two
 		// collective legs pipeline freely without deadlock.
-		e.stepWG.Add(K)
-		for w := 0; w < K; w++ {
+		e.stepWG.Add(len(e.owned))
+		for _, w := range e.owned {
 			e.startCh[w] <- struct{}{}
 		}
 		e.stepWG.Wait()
+	}
+	if err := e.Err(); err != nil {
+		// The step died mid-collective: parameters may be mid-update at
+		// some members, so the engine stays failed rather than pretending
+		// the step completed.
+		return 0
+	}
+	if K > 1 {
 		e.stats.RingMessages += e.ring.RoundMessages()
 		e.stats.RingBytes += e.ring.RoundBytes()
 	}
@@ -445,7 +540,9 @@ func (e *Engine) Step(idx []int) float64 {
 	e.stats.StepTime += e.clock.Now() - start
 
 	// Weighted losses sum to the global mean loss; fixed ascending-m order
-	// keeps the value worker-count-invariant too.
+	// keeps the value worker-count-invariant too. (Unowned microshards'
+	// entries are always zero, so in shard mode this is the local
+	// contribution.)
 	loss := 0.0
 	for m := 0; m < F; m++ {
 		loss += e.losses[m]
@@ -455,8 +552,10 @@ func (e *Engine) Step(idx []int) float64 {
 
 // runWorker is one worker's contribution to a step: local microshard
 // gradients, the ring exchange, and the local optimizer update. Worker w
-// owns the contiguous microshards [w·F/K, (w+1)·F/K).
-func (e *Engine) runWorker(w int, shards [][]int, invB float64) {
+// owns the contiguous microshards [w·F/K, (w+1)·F/K). A transport failure
+// aborts the worker's ring membership (cascading to the other members) and
+// surfaces as the returned error.
+func (e *Engine) runWorker(w int, shards [][]int, invB float64) error {
 	K, F := e.cfg.Workers, e.cfg.Microshards
 	mlo, mhi := w*F/K, (w+1)*F/K
 	rep := e.replicas[w]
@@ -500,7 +599,12 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64) {
 
 	// --- Ring all-reduce over the flattened gradient ---
 	agg := e.agg[w]
-	e.ring.AllReduce(w, e.gbuf, mlo, mhi, agg)
+	if err := e.ring.AllReduce(w, e.gbuf, mlo, mhi, agg); err != nil {
+		// Withdraw from the ring so members blocked on this worker fail
+		// fast instead of deadlocking the step.
+		e.ring.Abort(w, err)
+		return err
+	}
 
 	// --- Apply the aggregated gradient once per step ---
 	autograd.ScatterGrads(agg, params)
@@ -515,4 +619,5 @@ func (e *Engine) runWorker(w int, shards [][]int, invB float64) {
 	} else {
 		rep.Opt.Step()
 	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/dist"
 	"repro/internal/models"
+	"repro/internal/transport"
 )
 
 var recDSOnce = sync.OnceValue(func() *datasets.RecDataset {
@@ -26,7 +27,8 @@ func newNCFEngine(t testing.TB, workers, microshards, batch int, seed uint64) (*
 	hp := models.DefaultNCFHParams()
 	var reps []*models.Recommendation
 	eng, err := dist.New(dist.Config{
-		Workers: workers, Microshards: microshards,
+		Endpoint:    transport.Endpoint{Workers: workers},
+		Microshards: microshards,
 		GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
 	}, func(worker int) dist.Replica {
 		m := models.NewRecommendation(ds, hp, seed)
@@ -142,7 +144,8 @@ func TestDPChunkCountInvariant(t *testing.T) {
 	run := func(chunks int) []float64 {
 		var reps []*models.Recommendation
 		eng, err := dist.New(dist.Config{
-			Workers: 4, Microshards: 8, Chunks: chunks,
+			Endpoint:    transport.Endpoint{Workers: 4, Chunks: chunks},
+			Microshards: 8,
 			GlobalBatch: 64, DatasetN: len(ds.Train), Seed: 5,
 		}, func(worker int) dist.Replica {
 			m := models.NewRecommendation(ds, hp, 5)
@@ -204,7 +207,8 @@ func TestDPImageBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	run := func(workers int) []float64 {
 		var reps []*models.ImageClassification
 		eng, err := dist.New(dist.Config{
-			Workers: workers, Microshards: 4,
+			Endpoint:    transport.Endpoint{Workers: workers},
+			Microshards: 4,
 			GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN, Seed: 2,
 		}, func(worker int) dist.Replica {
 			m := models.NewImageClassification(ds, hp, 2)
@@ -247,18 +251,18 @@ func TestDPEngineValidation(t *testing.T) {
 		cfg  dist.Config
 		fac  func(int) dist.Replica
 	}{
-		{"zero workers", dist.Config{Workers: 0, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"zero batch", dist.Config{Workers: 2, GlobalBatch: 0, DatasetN: 100}, okFactory},
-		{"zero dataset", dist.Config{Workers: 2, GlobalBatch: 8, DatasetN: 0}, okFactory},
-		{"microshards not multiple", dist.Config{Workers: 4, Microshards: 6, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"negative workers", dist.Config{Workers: -1, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"negative chunks", dist.Config{Workers: 2, Chunks: -1, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"negative microshards", dist.Config{Workers: 2, Microshards: -2, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"microshards exceed batch", dist.Config{Workers: 2, Microshards: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"workers exceed batch", dist.Config{Workers: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"droplast batch over dataset", dist.Config{Workers: 2, GlobalBatch: 200, DatasetN: 100, DropLast: true}, okFactory},
-		{"nil factory", dist.Config{Workers: 2, GlobalBatch: 8, DatasetN: 100}, nil},
-		{"mismatched replicas", dist.Config{Workers: 2, GlobalBatch: 8, DatasetN: 100}, func(worker int) dist.Replica {
+		{"zero workers", dist.Config{Endpoint: transport.Endpoint{Workers: 0}, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"zero batch", dist.Config{Endpoint: transport.Endpoint{Workers: 2}, GlobalBatch: 0, DatasetN: 100}, okFactory},
+		{"zero dataset", dist.Config{Endpoint: transport.Endpoint{Workers: 2}, GlobalBatch: 8, DatasetN: 0}, okFactory},
+		{"microshards not multiple", dist.Config{Endpoint: transport.Endpoint{Workers: 4}, Microshards: 6, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"negative workers", dist.Config{Endpoint: transport.Endpoint{Workers: -1}, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"negative chunks", dist.Config{Endpoint: transport.Endpoint{Workers: 2, Chunks: -1}, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"negative microshards", dist.Config{Endpoint: transport.Endpoint{Workers: 2}, Microshards: -2, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"microshards exceed batch", dist.Config{Endpoint: transport.Endpoint{Workers: 2}, Microshards: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"workers exceed batch", dist.Config{Endpoint: transport.Endpoint{Workers: 16}, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"droplast batch over dataset", dist.Config{Endpoint: transport.Endpoint{Workers: 2}, GlobalBatch: 200, DatasetN: 100, DropLast: true}, okFactory},
+		{"nil factory", dist.Config{Endpoint: transport.Endpoint{Workers: 2}, GlobalBatch: 8, DatasetN: 100}, nil},
+		{"mismatched replicas", dist.Config{Endpoint: transport.Endpoint{Workers: 2}, GlobalBatch: 8, DatasetN: 100}, func(worker int) dist.Replica {
 			m := models.NewRecommendation(ds, hp, uint64(worker)) // different seeds: different init
 			return dist.Replica{Model: m, Opt: m.Opt}
 		}},

@@ -7,6 +7,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/precision"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // newNCFEngineNumerics is newNCFEngine with an explicit compute regime.
@@ -15,7 +16,8 @@ func newNCFEngineNumerics(t testing.TB, workers, microshards, batch int, seed ui
 	ds := recDSOnce()
 	hp := models.DefaultNCFHParams()
 	eng, err := dist.New(dist.Config{
-		Workers: workers, Microshards: microshards,
+		Endpoint:    transport.Endpoint{Workers: workers},
+		Microshards: microshards,
 		GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
 		Numerics: num,
 	}, func(worker int) dist.Replica {

@@ -35,6 +35,10 @@ func (w *Workload) Steps() int { return w.eng.Steps() }
 // Engine exposes the underlying engine (stats, replicas).
 func (w *Workload) Engine() *Engine { return w.eng }
 
+// Err implements core's optional failure probe: the engine's first recorded
+// step failure (peer death, transport error), or nil.
+func (w *Workload) Err() error { return w.eng.Err() }
+
 // Close stops the engine's persistent workers and returns its buffers to
 // the arena. The measurement harness (core.Run) calls it when a run ends.
 func (w *Workload) Close() { w.eng.Close() }

@@ -1,0 +1,185 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/autograd"
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+	"repro/internal/transport"
+)
+
+// Engine is the slice of the dist/pipeline engine surface a grid worker
+// drives: fixed-step training, sticky failure, and the local parameter
+// shard for digesting. Both engines satisfy it.
+type Engine interface {
+	// StepNext draws the next global minibatch and executes one step,
+	// returning the LOCAL loss contribution (shard mode).
+	StepNext() float64
+	// Steps returns the optimizer steps taken.
+	Steps() int
+	// Err returns the first step failure (typically *transport.PeerError).
+	Err() error
+	// Params returns the locally-hosted parameter shard.
+	Params() []*autograd.Param
+	// FlatSize returns the local flattened gradient length in elements.
+	FlatSize() int
+	// Close tears the engine down (an injected Mesh is left open).
+	Close()
+}
+
+var (
+	_ Engine = (*dist.Engine)(nil)
+	_ Engine = (*pipeline.Engine)(nil)
+)
+
+// Datasets are generated once per process — deterministic synthetic data,
+// so every process derives the identical dataset from the config alone.
+var (
+	imgDSOnce = sync.OnceValue(func() *datasets.ImageDataset {
+		return datasets.GenerateImages(datasets.DefaultImageConfig())
+	})
+	mtDSOnce = sync.OnceValue(func() *datasets.MTDataset {
+		return datasets.GenerateMT(datasets.DefaultMTConfig())
+	})
+	recDSOnce = sync.OnceValue(func() *datasets.RecDataset {
+		return datasets.GenerateRec(datasets.DefaultRecConfig())
+	})
+)
+
+// imageHParams mirrors internal/core's round-aware hyperparameters.
+func imageHParams(version string) models.ImageHParams {
+	hp := models.DefaultImageHParams()
+	if version == "v0.6" {
+		hp.UseLARS = true
+		hp.WarmupEpochs = 2
+	}
+	return hp
+}
+
+// DefaultBatch returns the benchmark's reference global batch — what a zero
+// Spec.GlobalBatch selects. Cheap: no dataset is generated.
+func DefaultBatch(benchmark, version string) (int, error) {
+	switch benchmark {
+	case "recommendation":
+		return models.DefaultNCFHParams().Batch, nil
+	case "image_classification":
+		return imageHParams(version).Batch, nil
+	case "translation_transformer":
+		return models.DefaultTransformerHParams().Batch, nil
+	}
+	return 0, fmt.Errorf("grid: unsupported benchmark %q (want recommendation, image_classification, or translation_transformer)", benchmark)
+}
+
+// Build constructs the spec's engine for one grid cell. A non-nil mesh
+// selects multi-process shard mode: the engine hosts only the cell `rank`
+// names (rank = k·PP + s) and reaches the other cells through the mesh. A
+// nil mesh builds the whole grid in-process over the channel fabric — the
+// reference configuration.
+func Build(spec Spec, mesh transport.Mesh, rank int) (Engine, error) {
+	spec = spec.normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	batch := spec.GlobalBatch
+	if batch <= 0 {
+		var err error
+		batch, err = DefaultBatch(spec.Benchmark, spec.Version)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ep := transport.Endpoint{Workers: spec.DP, Chunks: spec.Chunks, Mesh: mesh, Rank: rank}
+	if mesh == nil {
+		ep.Rank = 0
+	}
+
+	if spec.PP == 1 {
+		cfg := dist.Config{
+			Endpoint:    ep,
+			Microshards: spec.Microshards,
+			GlobalBatch: batch, DatasetN: 0, Seed: spec.Seed,
+		}
+		switch spec.Benchmark {
+		case "recommendation":
+			ds := recDSOnce()
+			cfg.DatasetN = len(ds.Train)
+			hp := models.DefaultNCFHParams()
+			return dist.New(cfg, func(worker int) dist.Replica {
+				m := models.NewRecommendation(ds, hp, spec.Seed)
+				return dist.Replica{Model: m, Opt: m.Opt}
+			})
+		case "image_classification":
+			ds := imgDSOnce()
+			cfg.DatasetN = ds.Cfg.TrainN
+			hp := imageHParams(spec.Version)
+			var reps []*models.ImageClassification
+			eng, err := dist.New(cfg, func(worker int) dist.Replica {
+				m := models.NewImageClassification(ds, hp, spec.Seed)
+				reps = append(reps, m)
+				return dist.Replica{Model: m, Opt: m.Opt}
+			})
+			if err != nil {
+				return nil, err
+			}
+			eng.SetSchedule(reps[0].Sched)
+			return eng, nil
+		case "translation_transformer":
+			return nil, fmt.Errorf("grid: benchmark %q needs PP >= 2 (its grid support is the pipeline engine's)", spec.Benchmark)
+		}
+		return nil, fmt.Errorf("grid: unsupported benchmark %q (want recommendation, image_classification, or translation_transformer)", spec.Benchmark)
+	}
+
+	cfg := pipeline.Config{
+		Endpoint: ep,
+		Stages:   spec.PP, Microbatches: spec.Microbatches,
+		Schedule:    pipeline.Schedule(spec.Schedule),
+		GlobalBatch: batch, DatasetN: 0, Seed: spec.Seed,
+	}
+	switch spec.Benchmark {
+	case "image_classification":
+		ds := imgDSOnce()
+		cfg.DatasetN = ds.Cfg.TrainN
+		hp := imageHParams(spec.Version)
+		var reps []*models.ImageClassification
+		eng, err := pipeline.New(cfg, func(worker int) []pipeline.StageReplica {
+			m := models.NewImageClassification(ds, hp, spec.Seed)
+			reps = append(reps, m)
+			parts, err := m.PipelineStages(spec.PP)
+			if err != nil {
+				panic(err)
+			}
+			return pipeline.Wrap(parts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng.SetLRSchedule(reps[0].Sched)
+		return eng, nil
+	case "translation_transformer":
+		ds := mtDSOnce()
+		cfg.DatasetN = len(ds.Train)
+		hp := models.DefaultTransformerHParams()
+		var reps []*models.Translation
+		eng, err := pipeline.New(cfg, func(worker int) []pipeline.StageReplica {
+			m := models.NewTranslation(ds, hp, spec.Seed)
+			reps = append(reps, m)
+			parts, err := m.PipelineStages(spec.PP)
+			if err != nil {
+				panic(err)
+			}
+			return pipeline.Wrap(parts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng.SetLRSchedule(reps[0].Sched)
+		return eng, nil
+	case "recommendation":
+		return nil, fmt.Errorf("grid: benchmark %q has no pipeline partitioner (use PP == 1)", spec.Benchmark)
+	}
+	return nil, fmt.Errorf("grid: unsupported benchmark %q (want recommendation, image_classification, or translation_transformer)", spec.Benchmark)
+}

@@ -1,0 +1,51 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autograd"
+)
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Digest is a rolling FNV-1a hash over a parameter trajectory: each Add
+// folds in the exact float64 bit patterns of every parameter element, so
+// two trajectories share a digest only if every parameter of every hashed
+// step is bit-identical. Workers report their digest through the rendezvous
+// (transport.WorkerResult.Digest); comparing it against Reference's is the
+// cross-process form of the engines' bit-identity tests.
+type Digest struct {
+	h uint64
+	n int
+}
+
+// NewDigest returns an empty trajectory digest.
+func NewDigest() *Digest { return &Digest{h: fnvOffset} }
+
+// Add folds one step's parameter state into the digest, in parameter-list
+// then element order.
+func (d *Digest) Add(params []*autograd.Param) {
+	h := d.h
+	for _, p := range params {
+		for _, v := range p.Value.Data {
+			bits := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				h ^= (bits >> s) & 0xFF
+				h *= fnvPrime
+			}
+		}
+	}
+	d.h = h
+	d.n++
+}
+
+// Steps returns the number of Add calls folded in.
+func (d *Digest) Steps() int { return d.n }
+
+// Sum renders the digest as a fixed-width hex string.
+func (d *Digest) Sum() string { return fmt.Sprintf("%016x", d.h) }

@@ -1,0 +1,129 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// Worker reports whether this process was launched as a grid worker
+// (EnvCoord set by Start). cmd/mlperf-worker and test binaries branch on
+// it from main/TestMain before any flag parsing.
+func Worker() bool {
+	return os.Getenv(EnvCoord) != ""
+}
+
+// WorkerMain runs one grid cell to completion: join the rendezvous, dial
+// the TCP mesh, build the shard-mode engine, step the spec's budget while
+// digesting the parameter trajectory, and report the result. It is the
+// whole body of a worker process; the caller exits on the returned error.
+func WorkerMain() error {
+	var spec Spec
+	if err := json.Unmarshal([]byte(os.Getenv(EnvSpec)), &spec); err != nil {
+		return fmt.Errorf("grid: bad %s: %w", EnvSpec, err)
+	}
+	spec = spec.normalized()
+	rank := -1
+	if v := os.Getenv(EnvRank); v != "" {
+		r, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("grid: bad %s %q: %w", EnvRank, v, err)
+		}
+		rank = r
+	}
+
+	// Bind the mesh listener first so the advertised address is live before
+	// any peer learns it from the rendezvous table.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("grid: mesh listen: %w", err)
+	}
+	defer ln.Close()
+
+	sess, err := transport.Join(transport.SessionConfig{
+		Coordinator: os.Getenv(EnvCoord),
+		Rank:        rank,
+		Addr:        ln.Addr().String(),
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if sess.World != spec.World() {
+		err := fmt.Errorf("grid: rendezvous world %d != spec grid %d×%d", sess.World, spec.DP, spec.PP)
+		sess.Report(transport.WorkerResult{Rank: sess.Rank, Err: err.Error()})
+		return err
+	}
+
+	mesh, err := transport.DialTCPMesh(transport.TCPConfig{
+		Rank:     sess.Rank,
+		Addrs:    sess.Addrs,
+		Listener: ln,
+		Opts: transport.TCPOptions{
+			Straggler: time.Duration(spec.StragglerMS) * time.Millisecond,
+		},
+	})
+	if err != nil {
+		sess.Report(transport.WorkerResult{Rank: sess.Rank, Err: err.Error()})
+		return err
+	}
+	defer mesh.Close()
+	// Coordinator-announced deaths (missed heartbeats, dropped control
+	// connections) poison the mesh so blocked Recvs fail typed, not hang.
+	sess.OnPeerDown(mesh.Fail)
+
+	eng, err := Build(spec, mesh, sess.Rank)
+	if err != nil {
+		sess.Report(transport.WorkerResult{Rank: sess.Rank, Err: err.Error()})
+		return err
+	}
+	defer eng.Close()
+
+	// Everyone finishes building before anyone steps: a fast worker's first
+	// Send must not race a slow worker's engine construction.
+	if err := sess.Barrier(); err != nil {
+		sess.Report(transport.WorkerResult{Rank: sess.Rank, Err: err.Error()})
+		return err
+	}
+
+	clk := clock.NewReal()
+	dig := NewDigest()
+	var loss float64
+	start := clk.Now()
+	for i := 0; i < spec.Steps; i++ {
+		if spec.HangAfter > 0 && sess.Rank == spec.HangRank && i >= spec.HangAfter {
+			// Failure injection: stop stepping but keep heartbeating — a
+			// live-but-stuck straggler only the Recv straggler bound catches.
+			select {}
+		}
+		loss = eng.StepNext()
+		if err := eng.Err(); err != nil {
+			sess.Report(transport.WorkerResult{Rank: sess.Rank, Steps: eng.Steps(), Err: err.Error()})
+			return err
+		}
+		dig.Add(eng.Params())
+	}
+	elapsed := clk.Now() - start
+
+	// Drain before teardown: closing the mesh drops queued frames, so every
+	// worker must pass this barrier (all sends consumed) before any Close.
+	if err := sess.Barrier(); err != nil {
+		sess.Report(transport.WorkerResult{Rank: sess.Rank, Steps: eng.Steps(), Err: err.Error()})
+		return err
+	}
+
+	return sess.Report(transport.WorkerResult{
+		Rank:        sess.Rank,
+		Steps:       eng.Steps(),
+		Digest:      dig.Sum(),
+		Loss:        loss,
+		StepSeconds: elapsed.Seconds() / float64(spec.Steps),
+		FlatBytes:   eng.FlatSize() * 8,
+	})
+}

@@ -1,0 +1,111 @@
+// Package leakcheck asserts that a test leaves no goroutines behind — the
+// audit tool for engine Close and transport teardown paths, where a dead
+// peer mid-step must not strand stage or reader goroutines.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ignored matches goroutines outside a test's control: the runtime's own
+// helpers and the testing harness.
+var ignored = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.tRunner",
+	"runtime.goexit",
+	"created by runtime",
+	"signal.signal_recv",
+	"runtime/trace",
+	"repro/internal/parallel.", // the process-wide kernel worker pool
+}
+
+func interesting(stack string) bool {
+	if stack == "" {
+		return false
+	}
+	for _, p := range ignored {
+		if strings.Contains(stack, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// stacks returns the stack dumps of all live interesting goroutines.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if interesting(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// goID extracts the "goroutine N" header. Goroutine IDs are never reused
+// within a process, so the snapshot tracks identity, not stack text (a
+// draining goroutine's stack changes as it exits).
+func goID(stack string) string {
+	if i := strings.Index(stack, " ["); i > 0 {
+		return stack[:i]
+	}
+	return stack
+}
+
+// TB is the testing.TB slice leakcheck needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the live goroutines and returns a function that fails the
+// test if goroutines born after the snapshot are still alive. Teardown is
+// usually asynchronous (readers notice closed connections, stage goroutines
+// drain), so the assertion retries for up to five seconds before reporting.
+//
+//	defer leakcheck.Check(t)()
+func Check(t TB) func() {
+	before := map[string]bool{}
+	for _, g := range stacks() {
+		before[goID(g)] = true
+	}
+	return func() {
+		t.Helper()
+		clk := clock.NewReal()
+		deadline := clk.Now() + 5*time.Second
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for _, g := range stacks() {
+				if !before[goID(g)] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 || clk.Now() > deadline {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%s", g)
+		}
+	}
+}
+
+// Count returns the number of interesting live goroutines.
+func Count() int { return len(stacks()) }

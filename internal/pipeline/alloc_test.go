@@ -6,6 +6,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
+	"repro/internal/transport"
 )
 
 // TestPPStepAllocsZero asserts the steady-state contract for the pipeline
@@ -34,7 +35,8 @@ func TestPPStepAllocsZero(t *testing.T) {
 	} {
 		var reps []*models.ImageClassification
 		eng, err := pipeline.New(pipeline.Config{
-			Stages: cfg.stages, Workers: cfg.workers, Microbatches: 4,
+			Endpoint: transport.Endpoint{Workers: cfg.workers},
+			Stages:   cfg.stages, Microbatches: 4,
 			Schedule: cfg.sched, GlobalBatch: hp.Batch, DatasetN: ds.Cfg.TrainN,
 			Seed: 1, DropLast: true,
 		}, func(worker int) []pipeline.StageReplica {

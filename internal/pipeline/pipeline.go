@@ -5,9 +5,10 @@
 // alone stops scaling (§5, Figures 4–5). A layered model is split into S
 // contiguous stages (cost-balanced cuts at block boundaries; see the
 // partitioners in internal/models); each global minibatch is split into M
-// microbatches that flow through the stage goroutines, which exchange
-// boundary activations and activation-gradients over channels. Two
-// microbatch schedules are implemented, selected by Config.Schedule:
+// microbatches that flow through the stage runtimes, which exchange
+// boundary activations and activation-gradients over the pluggable
+// transport layer (internal/transport). Two microbatch schedules are
+// implemented, selected by Config.Schedule:
 //
 //	GPipe (fill-drain)                    1F1B (one-forward-one-backward)
 //	S0 F0 F1 F2 F3 ·· ·· ·· B3 B2 B1 B0   S0 F0 F1 F2 B0 F3 B1 B2 B3
@@ -18,6 +19,14 @@
 // every forward before any backward, keeping all M microbatches live; 1F1B
 // drains backwards as soon as the pipeline is full, bounding live
 // microbatches per stage at S−s while filling the same (S−1)/M bubble.)
+//
+// By default the S·K stage runtimes are goroutines exchanging boundary
+// frames through the in-process channel fabric; with Config.Mesh set the
+// engine runs in multi-process shard mode, hosting only the (replica,
+// stage) cell Config.Rank names in the rank = k·S + s grid layout and
+// exchanging boundaries/gradients with the other OS processes (launched by
+// cmd/mlperf-worker; see internal/grid). Boundary frames copy float64 bits
+// exactly, so the transport never affects results.
 //
 // # Determinism
 //
@@ -31,6 +40,13 @@
 // seed, global batch, and Microbatches therefore produce bit-identical
 // parameters for ANY (Stages, Schedule, Workers) combination — the grid
 // the engine's tests assert against internal/dist's serial baseline.
+//
+// Boundary transfers need only ordered per-(sender, receiver, stream)
+// lanes, which every Mesh guarantees: forward slots are produced and
+// consumed in ascending order at every stage, and each schedule fixes one
+// backward order shared by every stage (GPipe descending, 1F1B ascending),
+// so sender and receiver always agree on the slot sequence — the slot index
+// carried in each frame is a corruption check, not a reordering mechanism.
 //
 // # Hybrid DP×PP
 //
@@ -54,6 +70,16 @@ import (
 	"repro/internal/dist"
 	"repro/internal/opt"
 	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Boundary stream tags (see the transport.Mesh stream contract). Forward
+// and backward boundaries flow between adjacent-stage ranks, disjoint from
+// the stage-group rings' same-stage rank pairs, so the tags cannot collide
+// with dist.Ring traffic on a shared multi-process mesh.
+const (
+	streamFwd uint32 = 1 // forward activations, stage s -> s+1
+	streamBwd uint32 = 2 // activation gradients, stage s+1 -> s
 )
 
 // Schedule selects the microbatch execution order.
@@ -114,13 +140,17 @@ func Wrap[T StageWithOpt](parts []T) []StageReplica {
 	return out
 }
 
-// Config parameterizes the engine.
+// Config parameterizes the engine. The embedded transport.Endpoint carries
+// the communication-group spec shared with dist.Config: Workers (K, the
+// per-stage replica count; K > 1 gives hybrid DP×PP), Chunks (the
+// stage-group ring grain), Clock, and the transport selection. In
+// multi-process shard mode Mesh's world must be Stages·Workers and Rank
+// names the (replica, stage) cell rank = k·Stages + s this process hosts.
 type Config struct {
+	transport.Endpoint
+
 	// Stages is S, the pipeline depth (>= 1).
 	Stages int
-	// Workers is K, the data-parallel replica count per stage (>= 1);
-	// K > 1 gives hybrid DP×PP.
-	Workers int
 	// Microbatches is M, the number of microbatches per global minibatch
 	// and the fixed gradient-reduction granularity. It must be a positive
 	// multiple of Workers and at most GlobalBatch. 0 selects
@@ -141,9 +171,6 @@ type Config struct {
 	// (identical derivations to internal/dist, so the serial dist engine
 	// is this engine's oracle).
 	Seed uint64
-	// Chunks is the stage-group ring all-reduce chunk count; 0 selects
-	// Workers. It never affects results.
-	Chunks int
 	// LR, when non-nil, sets every stage optimizer's learning rate from
 	// the global step before each update.
 	LR opt.Schedule
@@ -158,10 +185,6 @@ type Config struct {
 	// not supported across stage shards — use dist or the serial trainers
 	// for the bf16 mixed regime.
 	DType tensor.DType
-	// Clock times Step for Stats.StepTime. Nil selects a wall clock;
-	// tests inject a deterministic clock (e.g. clock.Sim) so measured
-	// step times are reproducible.
-	Clock clock.Clock
 }
 
 // Stats counts the engine's communication and compute activity.
@@ -169,32 +192,25 @@ type Stats struct {
 	// Steps is the number of optimizer steps taken.
 	Steps int
 	// RingMessages / RingBytes count the stage-group gradient all-reduce
-	// traffic (all S rings).
+	// traffic (all S rings, whole-ring totals — also in shard mode).
 	RingMessages int
 	RingBytes    int
 	// ActivationSends / ActivationBytes count boundary tensor transfers
-	// between adjacent stages (forward activations + backward gradients).
+	// between adjacent stages (forward activations + backward gradients;
+	// tensor payload bytes, excluding frame headers). In shard mode only
+	// the locally-hosted cell's sends are counted.
 	ActivationSends int
 	ActivationBytes int
 	// StepTime is cumulative wall time spent inside Step.
 	StepTime time.Duration
 }
 
-// boundary is the per-(worker, stage-gap, slot) transfer cell: the sender
-// publishes tensor pointers, then signals the slot index over the
-// corresponding channel (the send happens-before the receive, making the
-// writes visible). Pointers only — the tensors themselves stay owned by
-// the producing tape until its next-step Reset, which the step barrier
-// orders after every consumer is done.
-type boundary struct {
-	vals  []*tensor.Tensor
-	grads []*tensor.Tensor
-}
-
 // runtime is one (stage, worker) execution context: a persistent goroutine
-// with per-slot pooled tapes over a private arena free list.
+// (or the caller's goroutine, in shard mode) with per-slot pooled tapes
+// over a private arena free list and a boundary-mesh endpoint.
 type runtime struct {
 	s, k   int
+	rank   int // mesh rank k·S + s
 	rep    StageReplica
 	params []*autograd.Param
 
@@ -202,8 +218,25 @@ type runtime struct {
 	tapes []*autograd.Tape // per in-flight slot
 	rng   tensor.RNG
 
+	// mesh is the boundary endpoint (nil when S == 1: no boundaries).
+	mesh transport.Mesh
+
 	ins  [][]*autograd.Var // per-slot leaf lists (reused backing arrays)
 	outs [][]*autograd.Var // per-slot stage outputs (stage-owned slices)
+
+	// rvals holds per-slot received boundary tensors: decoded forward
+	// frames live here so LeafOf values stay valid until the slot's
+	// backward replay. Tensors are reallocated only on shape change, so
+	// warm steps don't allocate.
+	rvals [][]*tensor.Tensor
+
+	// enc/rcv are the frame scratch buffers (encode before Send, receive
+	// target for Recv). They grow to the largest boundary frame and are
+	// then reused — the Send/Recv copies keep warm steps allocation-free.
+	enc []float64
+	rcv []float64
+	// tvals is the reusable value-tensor list sendBoundary frames from.
+	tvals []*tensor.Tensor
 
 	sends, bytes int // cumulative activation-transfer accounting
 
@@ -216,17 +249,19 @@ type Engine struct {
 	S, K, M int
 	mLocal  int
 
-	rts [][]*runtime // [k][s]
+	rts [][]*runtime // [k][s]; nil cells are hosted by other processes
+	// owned lists the locally-hosted runtimes: all S·K cells by default,
+	// exactly one in shard mode.
+	owned []*runtime
+	// ownMesh is set when the engine built its own boundary fabric (and
+	// must close its endpoints); an injected Config.Mesh is never closed.
+	ownMesh bool
 
 	flatLen []int         // per-stage flattened gradient length
-	gbuf    [][][]float64 // [s][m]: per-microbatch gradient rows
-	agg     [][][]float64 // [s][k]: per-replica aggregates
-	rings   []*dist.Ring  // per-stage group collective
+	gbuf    [][][]float64 // [s][m]: per-microbatch gradient rows (owned cells only)
+	agg     [][][]float64 // [s][k]: per-replica aggregates (owned cells only)
+	rings   []*dist.Ring  // per-stage group collective (owned stages only)
 	losses  []float64     // per-microbatch weighted losses
-
-	fwdCh [][]chan int   // [k][gap]: forward slot signals across gap s→s+1
-	bwdCh [][]chan int   // [k][gap]: backward slot signals across gap s+1→s
-	xfer  [][][]boundary // [k][gap][slot]
 
 	loader *data.Loader
 	epoch  int
@@ -239,22 +274,31 @@ type Engine struct {
 	stepWG  sync.WaitGroup
 	closed  bool
 
+	// First step failure (peer death, transport error) — sticky; once set
+	// the engine refuses further steps. Guarded by failMu.
+	failMu  sync.Mutex
+	failErr error
+
 	// clock times Step (Config.Clock, defaulted in New).
 	clock clock.Clock
 
 	stats Stats
 }
 
-// New builds an engine. factory is called sequentially for worker
-// 0..Workers-1 and must return the same number of stages each time, with
+// New builds an engine. factory is called sequentially for each worker this
+// process hosts — 0..Workers-1 in the default mode, only Rank/Stages' worker
+// in shard mode — and must return the same number of stages each time, with
 // bit-identical initial parameters across workers (build the same model
 // from the same seed and partition it identically).
 func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
+	if err := cfg.Endpoint.Validate("pipeline"); err != nil {
+		return nil, err
+	}
 	if cfg.Stages < 1 {
 		return nil, fmt.Errorf("pipeline: Stages %d < 1", cfg.Stages)
 	}
-	if cfg.Workers < 1 {
-		return nil, fmt.Errorf("pipeline: Workers %d < 1", cfg.Workers)
+	if cfg.Sharded() && cfg.Mesh.World() != cfg.Stages*cfg.Workers {
+		return nil, fmt.Errorf("pipeline: Mesh world %d != Stages %d × Workers %d", cfg.Mesh.World(), cfg.Stages, cfg.Workers)
 	}
 	if cfg.GlobalBatch < 1 {
 		return nil, fmt.Errorf("pipeline: GlobalBatch %d < 1", cfg.GlobalBatch)
@@ -264,9 +308,6 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 	}
 	if cfg.DropLast && cfg.GlobalBatch > cfg.DatasetN {
 		return nil, fmt.Errorf("pipeline: DropLast with GlobalBatch %d > DatasetN %d yields zero steps per epoch", cfg.GlobalBatch, cfg.DatasetN)
-	}
-	if cfg.Chunks < 0 {
-		return nil, fmt.Errorf("pipeline: Chunks %d < 0 (0 selects Workers)", cfg.Chunks)
 	}
 	if cfg.Microbatches < 0 {
 		return nil, fmt.Errorf("pipeline: Microbatches %d < 0 (0 selects a default)", cfg.Microbatches)
@@ -312,36 +353,67 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 		e.buffers = arena.New()
 	}
 
-	e.rts = make([][]*runtime, e.K)
-	for k := 0; k < e.K; k++ {
-		reps := factory(k)
-		if len(reps) != e.S {
-			return nil, fmt.Errorf("pipeline: factory returned %d stages for worker %d, want %d", len(reps), k, e.S)
+	newRuntime := func(k, s int, rep StageReplica) (*runtime, error) {
+		if rep.Stage == nil || rep.Opt == nil {
+			return nil, fmt.Errorf("pipeline: factory returned incomplete stage %d for worker %d", s, k)
 		}
+		rt := &runtime{s: s, k: k, rank: k*e.S + s, rep: rep, params: rep.Stage.Params()}
+		rt.local = e.buffers.NewLocal()
+		rt.tapes = make([]*autograd.Tape, e.mLocal)
+		for j := range rt.tapes {
+			rt.tapes[j] = autograd.NewTapeIn(rt.local) //mlperfvet:owns — runtime state, released in Close
+			rt.tapes[j].SetDType(cfg.DType)
+		}
+		rt.ins = make([][]*autograd.Var, e.mLocal)
+		rt.outs = make([][]*autograd.Var, e.mLocal)
+		rt.rvals = make([][]*tensor.Tensor, e.mLocal)
+		return rt, nil
+	}
+
+	e.rts = make([][]*runtime, e.K)
+	for k := range e.rts {
 		e.rts[k] = make([]*runtime, e.S)
-		for s, rep := range reps {
-			if rep.Stage == nil || rep.Opt == nil {
-				return nil, fmt.Errorf("pipeline: factory returned incomplete stage %d for worker %d", s, k)
+	}
+	if cfg.Sharded() {
+		k0, s0 := cfg.Rank/e.S, cfg.Rank%e.S
+		reps := factory(k0)
+		if len(reps) != e.S {
+			return nil, fmt.Errorf("pipeline: factory returned %d stages for worker %d, want %d", len(reps), k0, e.S)
+		}
+		rt, err := newRuntime(k0, s0, reps[s0])
+		if err != nil {
+			return nil, err
+		}
+		e.rts[k0][s0] = rt
+		e.owned = []*runtime{rt}
+	} else {
+		for k := 0; k < e.K; k++ {
+			reps := factory(k)
+			if len(reps) != e.S {
+				return nil, fmt.Errorf("pipeline: factory returned %d stages for worker %d, want %d", len(reps), k, e.S)
 			}
-			rt := &runtime{s: s, k: k, rep: rep, params: rep.Stage.Params()}
-			rt.local = e.buffers.NewLocal()
-			rt.tapes = make([]*autograd.Tape, e.mLocal)
-			for j := range rt.tapes {
-				rt.tapes[j] = autograd.NewTapeIn(rt.local) //mlperfvet:owns — runtime state, released in Close
-				rt.tapes[j].SetDType(cfg.DType)
+			for s, rep := range reps {
+				rt, err := newRuntime(k, s, rep)
+				if err != nil {
+					return nil, err
+				}
+				e.rts[k][s] = rt
+				e.owned = append(e.owned, rt)
 			}
-			rt.ins = make([][]*autograd.Var, e.mLocal)
-			rt.outs = make([][]*autograd.Var, e.mLocal)
-			e.rts[k][s] = rt
 		}
 	}
 
 	e.flatLen = make([]int, e.S)
-	for s := 0; s < e.S; s++ {
-		e.flatLen[s] = autograd.FlatSize(e.rts[0][s].params)
-		if e.flatLen[s] == 0 {
-			return nil, fmt.Errorf("pipeline: stage %d has no parameters", s)
+	for _, rt := range e.owned {
+		e.flatLen[rt.s] = autograd.FlatSize(rt.params)
+		if e.flatLen[rt.s] == 0 {
+			return nil, fmt.Errorf("pipeline: stage %d has no parameters", rt.s)
 		}
+	}
+	// Cross-replica identity is only checkable within this process (shard
+	// mode relies on the launcher's same-factory-same-seed discipline and
+	// the rendezvous trajectory digests).
+	for s := 0; s < e.S && !cfg.Sharded(); s++ {
 		for k := 1; k < e.K; k++ {
 			if !autograd.ParamsEqual(e.rts[k][s].params, e.rts[0][s].params) {
 				return nil, fmt.Errorf("pipeline: worker %d stage %d parameters differ from worker 0 (factory must build identical replicas)", k, s)
@@ -352,54 +424,72 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 	e.loader = data.NewLoader(cfg.DatasetN, cfg.GlobalBatch, dist.LoaderRNG(cfg.Seed))
 	e.loader.DropLast = cfg.DropLast
 
+	// Gradient rows, per-replica aggregates, and stage-group rings, for the
+	// locally-hosted cells only: each stage-replica owns the rows of its
+	// microbatch range, and the ring sums all M rows across the K replicas.
 	e.gbuf = make([][][]float64, e.S)
 	e.agg = make([][][]float64, e.S)
 	e.rings = make([]*dist.Ring, e.S)
-	for s := 0; s < e.S; s++ {
-		e.gbuf[s] = make([][]float64, e.M)
-		for m := range e.gbuf[s] {
+	for _, rt := range e.owned {
+		s := rt.s
+		if e.gbuf[s] == nil {
+			e.gbuf[s] = make([][]float64, e.M)
+			e.agg[s] = make([][]float64, e.K)
+		}
+		for m := rt.k * e.M / e.K; m < (rt.k+1)*e.M/e.K; m++ {
 			e.gbuf[s][m] = e.buffers.Get(e.flatLen[s]) //mlperfvet:owns — engine state, released in Close
 		}
-		e.agg[s] = make([][]float64, e.K)
-		for k := range e.agg[s] {
-			e.agg[s][k] = e.buffers.Get(e.flatLen[s]) //mlperfvet:owns — engine state, released in Close
+		e.agg[s][rt.k] = e.buffers.Get(e.flatLen[s]) //mlperfvet:owns — engine state, released in Close
+	}
+	if cfg.Sharded() {
+		rt := e.owned[0]
+		// The stage-group ring runs over a sub-view of the process mesh:
+		// member k of stage s's ring is grid rank k·S + s. Ring streams and
+		// boundary streams use disjoint rank pairs, so they share the mesh.
+		members := make([]int, e.K)
+		for k := range members {
+			members[k] = k*e.S + rt.s
 		}
-		e.rings[s] = dist.NewRing(e.K, cfg.Chunks, e.flatLen[s], e.buffers)
+		eps := make([]transport.Mesh, e.K)
+		eps[rt.k] = transport.Sub(cfg.Mesh, members)
+		e.rings[rt.s] = dist.NewRingOver(eps, cfg.Chunks, e.flatLen[rt.s], e.buffers)
+	} else {
+		for s := 0; s < e.S; s++ {
+			e.rings[s] = dist.NewRing(e.K, cfg.Chunks, e.flatLen[s], e.buffers)
+		}
 	}
 	e.losses = make([]float64, e.M)
 	e.shards = make([][]int, e.M)
 
+	// Boundary endpoints. In-process mode builds a private S·K-rank fabric
+	// (rank = k·S + s, the same grid layout the multi-process launcher
+	// uses); shard mode plugs the injected process mesh straight in.
 	if e.S > 1 {
-		e.fwdCh = make([][]chan int, e.K)
-		e.bwdCh = make([][]chan int, e.K)
-		e.xfer = make([][][]boundary, e.K)
-		for k := 0; k < e.K; k++ {
-			e.fwdCh[k] = make([]chan int, e.S-1)
-			e.bwdCh[k] = make([]chan int, e.S-1)
-			e.xfer[k] = make([][]boundary, e.S-1)
-			for g := 0; g < e.S-1; g++ {
-				e.fwdCh[k][g] = make(chan int, e.mLocal)
-				e.bwdCh[k][g] = make(chan int, e.mLocal)
-				e.xfer[k][g] = make([]boundary, e.mLocal)
+		if cfg.Sharded() {
+			e.owned[0].mesh = cfg.Mesh
+		} else {
+			fab := transport.NewLocalFabric(e.S*e.K, e.buffers)
+			for _, rt := range e.owned {
+				rt.mesh = fab.Endpoint(rt.rank)
 			}
+			e.ownMesh = true
 		}
 	}
 
 	// Persistent runtime goroutines (spawning per step would put S·K
-	// goroutine launches on the hot path). The fully serial S=K=1 shape
-	// runs inline in Step instead.
-	if e.S*e.K > 1 {
-		for k := 0; k < e.K; k++ {
-			for s := 0; s < e.S; s++ {
-				rt := e.rts[k][s]
-				rt.startCh = make(chan struct{}, 1)
-				go func(rt *runtime) {
-					for range rt.startCh {
-						e.runStage(rt)
-						e.stepWG.Done()
+	// goroutine launches on the hot path). A single owned cell — the fully
+	// serial S=K=1 shape, or shard mode — runs inline in Step instead.
+	if len(e.owned) > 1 {
+		for _, rt := range e.owned {
+			rt.startCh = make(chan struct{}, 1)
+			go func(rt *runtime) {
+				for range rt.startCh {
+					if err := e.runStage(rt); err != nil {
+						e.fail(err)
 					}
-				}(rt)
-			}
+					e.stepWG.Done()
+				}
+			}(rt)
 		}
 	}
 	return e, nil
@@ -407,36 +497,43 @@ func New(cfg Config, factory func(worker int) []StageReplica) (*Engine, error) {
 
 // Close stops the persistent stage goroutines and returns the engine's
 // buffers (gradient rows, aggregates, ring chunks, tape working sets) to
-// its arena. Idempotent; the engine must not be stepped afterwards.
+// its arena. An injected shard-mode Mesh is NOT closed — its lifecycle
+// belongs to the launcher. Idempotent; the engine must not be stepped
+// afterwards.
 func (e *Engine) Close() {
 	if e.closed {
 		return
 	}
 	e.closed = true
-	for _, row := range e.rts {
-		for _, rt := range row {
-			if rt.startCh != nil {
-				close(rt.startCh)
-			}
+	for _, rt := range e.owned {
+		if rt.startCh != nil {
+			close(rt.startCh)
 		}
 	}
 	for s := 0; s < e.S; s++ {
 		for _, buf := range e.gbuf[s] {
-			e.buffers.Put(buf)
+			if buf != nil {
+				e.buffers.Put(buf)
+			}
 		}
 		for _, buf := range e.agg[s] {
-			e.buffers.Put(buf)
+			if buf != nil {
+				e.buffers.Put(buf)
+			}
 		}
-		e.rings[s].Close()
+		if e.rings[s] != nil {
+			e.rings[s].Close()
+		}
 	}
 	e.gbuf, e.agg = nil, nil
-	for _, row := range e.rts {
-		for _, rt := range row {
-			for _, tape := range rt.tapes {
-				tape.ReleaseBuffers()
-			}
-			rt.local.Flush()
+	for _, rt := range e.owned {
+		if e.ownMesh && rt.mesh != nil {
+			rt.mesh.Close()
 		}
+		for _, tape := range rt.tapes {
+			tape.ReleaseBuffers()
+		}
+		rt.local.Flush()
 	}
 }
 
@@ -445,17 +542,22 @@ func (e *Engine) Stages() int       { return e.S }
 func (e *Engine) Workers() int      { return e.K }
 func (e *Engine) Microbatches() int { return e.M }
 
-// Params returns worker 0's full parameter list: the concatenation of its
-// stage shards in stage order.
+// Params returns worker 0's full parameter list (the concatenation of its
+// stage shards in stage order) — or, in shard mode, the locally-hosted
+// stage's shard.
 func (e *Engine) Params() []*autograd.Param {
 	var ps []*autograd.Param
+	if e.cfg.Sharded() {
+		return append(ps, e.owned[0].params...)
+	}
 	for s := 0; s < e.S; s++ {
 		ps = append(ps, e.rts[0][s].params...)
 	}
 	return ps
 }
 
-// FlatSize returns the total flattened gradient length across stages.
+// FlatSize returns the total flattened gradient length across stages (the
+// locally-hosted stage's length in shard mode).
 func (e *Engine) FlatSize() int {
 	n := 0
 	for _, l := range e.flatLen {
@@ -480,18 +582,51 @@ func (e *Engine) SetLRSchedule(s opt.Schedule) { e.cfg.LR = s }
 // Stats returns cumulative activity counters.
 func (e *Engine) Stats() Stats {
 	st := e.stats
-	for _, row := range e.rts {
-		for _, rt := range row {
-			st.ActivationSends += rt.sends
-			st.ActivationBytes += rt.bytes
-		}
+	for _, rt := range e.owned {
+		st.ActivationSends += rt.sends
+		st.ActivationBytes += rt.bytes
 	}
 	return st
 }
 
-// InSync reports whether all stage replicas hold bit-identical parameters
-// across workers (the hybrid DP invariant).
+// Err returns the first failure recorded by a step — a peer death or
+// transport error, typically a *transport.PeerError — or nil. Once set,
+// further Steps are refused (they return 0 immediately).
+func (e *Engine) Err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
+}
+
+func (e *Engine) fail(err error) {
+	e.failMu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	e.failMu.Unlock()
+}
+
+// abort withdraws a failed runtime from the grid: its boundary-mesh rank
+// and its stage-group ring membership are marked down, so every runtime
+// blocked on it fails fast and the failure cascades across the whole grid
+// (boundary neighbors first, then their rings, and so on) instead of
+// deadlocking the step barrier.
+func (e *Engine) abort(rt *runtime, err error) {
+	if rt.mesh != nil {
+		rt.mesh.Fail(rt.mesh.Rank(), err)
+	}
+	if e.rings[rt.s] != nil {
+		e.rings[rt.s].Abort(rt.k, err)
+	}
+}
+
+// InSync reports whether all locally-hosted stage replicas hold
+// bit-identical parameters across workers (the hybrid DP invariant;
+// trivially true in shard mode).
 func (e *Engine) InSync() bool {
+	if e.cfg.Sharded() {
+		return true
+	}
 	for s := 0; s < e.S; s++ {
 		for k := 1; k < e.K; k++ {
 			if !autograd.ParamsEqual(e.rts[k][s].params, e.rts[0][s].params) {
@@ -510,12 +645,15 @@ func (e *Engine) StepNext() float64 {
 }
 
 // TrainEpoch runs one full pass over the training data and returns the
-// mean per-step loss.
+// mean per-step loss. A step failure (see Err) ends the epoch early.
 func (e *Engine) TrainEpoch() float64 {
 	steps := e.loader.StepsPerEpoch()
 	total := 0.0
 	for i := 0; i < steps; i++ {
 		total += e.StepNext()
+		if e.Err() != nil {
+			break
+		}
 	}
 	e.epoch++
 	return total / float64(steps)
@@ -525,8 +663,15 @@ func (e *Engine) TrainEpoch() float64 {
 // training step over the given global minibatch indices and returns the
 // global mean loss (microbatch-size-weighted, equal to the mean over all
 // examples). Ragged batches are supported: microbatches left empty by a
-// short final batch are skipped symmetrically by every stage.
+// short final batch are skipped symmetrically by every stage. In shard mode
+// every process must call Step with the identical index set (the seeded
+// loaders guarantee this for StepNext), and the return value is only the
+// LOCAL loss contribution — nonzero only at last-stage cells. After a
+// failure (Err non-nil) Step returns 0 without stepping.
 func (e *Engine) Step(idx []int) float64 {
+	if e.Err() != nil {
+		return 0
+	}
 	start := e.clock.Now()
 	for m := range e.shards {
 		e.shards[m] = data.Shard(idx, m, e.M)
@@ -536,23 +681,36 @@ func (e *Engine) Step(idx []int) float64 {
 		e.losses[m] = 0
 	}
 
-	if e.S*e.K == 1 {
-		e.runStage(e.rts[0][0])
+	if len(e.owned) == 1 {
+		// The serial S=K=1 shape and shard mode both host one cell: run it
+		// inline (in shard mode the other cells are other OS processes
+		// rendezvousing inside the boundary/ring exchanges).
+		if err := e.runStage(e.owned[0]); err != nil {
+			e.fail(err)
+		}
 	} else {
 		// Wake every (stage, worker) runtime and wait for the step
 		// barrier. The channel sends happen-before each runtime's
 		// iteration (shard/invB visibility); the WaitGroup orders runtime
 		// writes before the loss reduction below.
-		e.stepWG.Add(e.S * e.K)
-		for _, row := range e.rts {
-			for _, rt := range row {
-				rt.startCh <- struct{}{}
-			}
+		e.stepWG.Add(len(e.owned))
+		for _, rt := range e.owned {
+			rt.startCh <- struct{}{}
 		}
 		e.stepWG.Wait()
+	}
+	if err := e.Err(); err != nil {
+		// The step died mid-exchange: parameters may be mid-update at some
+		// cells, so the engine stays failed rather than pretending the
+		// step completed.
+		return 0
+	}
+	if e.K > 1 {
 		for s := 0; s < e.S; s++ {
-			e.stats.RingMessages += e.rings[s].RoundMessages()
-			e.stats.RingBytes += e.rings[s].RoundBytes()
+			if e.rings[s] != nil {
+				e.stats.RingMessages += e.rings[s].RoundMessages()
+				e.stats.RingBytes += e.rings[s].RoundBytes()
+			}
 		}
 	}
 
@@ -570,8 +728,15 @@ func (e *Engine) Step(idx []int) float64 {
 
 // runStage is one runtime's contribution to a step: the microbatch
 // schedule over its owned slots, then the stage group's ring all-reduce
-// and the local optimizer update.
-func (e *Engine) runStage(rt *runtime) {
+// and the local optimizer update. A transport failure aborts the runtime's
+// grid membership (cascading to every other cell) and surfaces as the
+// returned error.
+func (e *Engine) runStage(rt *runtime) (err error) {
+	defer func() {
+		if err != nil {
+			e.abort(rt, err)
+		}
+	}()
 	mL := e.mLocal
 	switch e.cfg.Schedule {
 	case OneFOneB:
@@ -580,21 +745,33 @@ func (e *Engine) runStage(rt *runtime) {
 			warm = mL
 		}
 		for j := 0; j < warm; j++ {
-			e.forward(rt, j)
+			if err := e.forward(rt, j); err != nil {
+				return err
+			}
 		}
 		for j := warm; j < mL; j++ {
-			e.forward(rt, j)
-			e.backward(rt, j-warm)
+			if err := e.forward(rt, j); err != nil {
+				return err
+			}
+			if err := e.backward(rt, j-warm); err != nil {
+				return err
+			}
 		}
 		for j := mL - warm; j < mL; j++ {
-			e.backward(rt, j)
+			if err := e.backward(rt, j); err != nil {
+				return err
+			}
 		}
 	default: // GPipe fill-drain
 		for j := 0; j < mL; j++ {
-			e.forward(rt, j)
+			if err := e.forward(rt, j); err != nil {
+				return err
+			}
 		}
 		for j := mL - 1; j >= 0; j-- {
-			e.backward(rt, j)
+			if err := e.backward(rt, j); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -603,16 +780,60 @@ func (e *Engine) runStage(rt *runtime) {
 	// identical aggregated update on every replica.
 	mlo, mhi := rt.k*e.M/e.K, (rt.k+1)*e.M/e.K
 	agg := e.agg[rt.s][rt.k]
-	e.rings[rt.s].AllReduce(rt.k, e.gbuf[rt.s], mlo, mhi, agg)
+	if err := e.rings[rt.s].AllReduce(rt.k, e.gbuf[rt.s], mlo, mhi, agg); err != nil {
+		return err
+	}
 	autograd.ScatterGrads(agg, rt.params)
 	opt.ApplySchedule(rt.rep.Opt, e.cfg.LR, e.step)
 	rt.rep.Opt.Step()
+	return nil
+}
+
+// sendBoundary frames a tensor list and sends it to the adjacent-stage
+// rank: [slot, ntensors, {rank, dims..., data...}...] for forwards (the
+// receiver rebuilds shapes), [slot, concat data] for backwards (the
+// receiver knows the shapes — they are its own outputs'). All values are
+// float64; the integer fields are exact below 2^53.
+func (rt *runtime) sendBoundary(to int, stream uint32, j int, tensors []*tensor.Tensor, withShapes bool) error {
+	f := rt.enc[:0]
+	f = append(f, float64(j))
+	if withShapes {
+		f = append(f, float64(len(tensors)))
+	}
+	for _, t := range tensors {
+		if withShapes {
+			f = append(f, float64(len(t.Shape)))
+			for _, d := range t.Shape {
+				f = append(f, float64(d))
+			}
+		}
+		f = append(f, t.Data...)
+		rt.bytes += t.Size() * 8
+	}
+	rt.enc = f
+	rt.sends++
+	return rt.mesh.Send(to, stream, f)
+}
+
+// recvFrame receives one boundary frame from the adjacent-stage rank into
+// the runtime's scratch and validates its slot index.
+func (rt *runtime) recvFrame(from int, stream uint32, j int) ([]float64, error) {
+	f, err := rt.mesh.Recv(from, stream, rt.rcv)
+	if err != nil {
+		return nil, err
+	}
+	rt.rcv = f // keep the (possibly grown) buffer for reuse
+	if len(f) < 1 || int(f[0]) != j {
+		return nil, fmt.Errorf("pipeline: stage %d worker %d expected slot %d on stream %d, got frame %v: %w",
+			rt.s, rt.k, j, stream, f[:min(len(f), 2)], transport.ErrBadFrame)
+	}
+	return f[1:], nil
 }
 
 // forward runs the stage's forward pass for local slot j, receiving the
 // upstream boundary (stages > 0) and publishing this stage's boundary
 // downstream (stages < S−1).
-func (e *Engine) forward(rt *runtime, j int) {
+func (e *Engine) forward(rt *runtime, j int) error {
 	m := rt.k*e.M/e.K + j
 	shard := e.shards[m]
 	if len(shard) == 0 {
@@ -622,7 +843,7 @@ func (e *Engine) forward(rt *runtime, j int) {
 		for i := range row {
 			row[i] = 0
 		}
-		return
+		return nil
 	}
 	tape := rt.tapes[j]
 	tape.Reset()
@@ -630,15 +851,60 @@ func (e *Engine) forward(rt *runtime, j int) {
 
 	var in []*autograd.Var
 	if rt.s > 0 {
-		slot := <-e.fwdCh[rt.k][rt.s-1]
-		if slot != j {
-			panic(fmt.Sprintf("pipeline: stage %d worker %d expected forward slot %d, got %d", rt.s, rt.k, j, slot))
+		payload, err := rt.recvFrame(rt.rank-1, streamFwd, j)
+		if err != nil {
+			return err
 		}
-		bx := &e.xfer[rt.k][rt.s-1][j]
+		// Decode [ntensors, {rank, dims..., data...}...] into the slot's
+		// persistent tensors (reallocated only on shape change), then wrap
+		// each as a differentiable leaf.
+		if len(payload) < 1 {
+			return fmt.Errorf("pipeline: stage %d worker %d slot %d: truncated forward frame: %w", rt.s, rt.k, j, transport.ErrBadFrame)
+		}
+		nt := int(payload[0])
+		payload = payload[1:]
+		vals := rt.rvals[j]
+		if cap(vals) < nt {
+			vals = make([]*tensor.Tensor, nt)
+		}
+		vals = vals[:nt]
 		in = rt.ins[j][:0]
-		for _, v := range bx.vals {
-			in = append(in, tape.LeafOf(v))
+		for i := 0; i < nt; i++ {
+			if len(payload) < 1 {
+				return fmt.Errorf("pipeline: stage %d worker %d slot %d: truncated forward frame: %w", rt.s, rt.k, j, transport.ErrBadFrame)
+			}
+			nd := int(payload[0])
+			if len(payload) < 1+nd {
+				return fmt.Errorf("pipeline: stage %d worker %d slot %d: truncated forward frame: %w", rt.s, rt.k, j, transport.ErrBadFrame)
+			}
+			n := 1
+			sameShape := vals[i] != nil && len(vals[i].Shape) == nd
+			for d := 0; d < nd; d++ {
+				dim := int(payload[1+d])
+				n *= dim
+				sameShape = sameShape && vals[i].Shape[d] == dim
+			}
+			if !sameShape {
+				// Shape change (first use, ragged final batch): rebuild the
+				// slot's persistent tensor. Off the warm path by design.
+				shape := make([]int, nd)
+				for d := range shape {
+					shape[d] = int(payload[1+d])
+				}
+				vals[i] = tensor.New(shape...)
+			}
+			payload = payload[1+nd:]
+			if len(payload) < n {
+				return fmt.Errorf("pipeline: stage %d worker %d slot %d: truncated forward frame: %w", rt.s, rt.k, j, transport.ErrBadFrame)
+			}
+			copy(vals[i].Data, payload[:n])
+			payload = payload[n:]
+			in = append(in, tape.LeafOf(vals[i]))
 		}
+		if len(payload) != 0 {
+			return fmt.Errorf("pipeline: stage %d worker %d slot %d: %d trailing elements in forward frame: %w", rt.s, rt.k, j, len(payload), transport.ErrBadFrame)
+		}
+		rt.rvals[j] = vals
 		rt.ins[j] = in
 	}
 
@@ -646,15 +912,14 @@ func (e *Engine) forward(rt *runtime, j int) {
 	rt.outs[j] = outs
 
 	if rt.s < e.S-1 {
-		bx := &e.xfer[rt.k][rt.s][j]
-		bx.vals = bx.vals[:0]
+		vals := rt.tvals[:0]
 		for _, o := range outs {
-			bx.vals = append(bx.vals, o.Value)
-			rt.bytes += o.Value.Size() * 8
+			vals = append(vals, o.Value)
 		}
-		rt.sends++
-		e.fwdCh[rt.k][rt.s] <- j
+		rt.tvals = vals
+		return rt.sendBoundary(rt.rank+1, streamFwd, j, vals, true)
 	}
+	return nil
 }
 
 // backward runs the stage's backward pass for local slot j: seed the
@@ -664,11 +929,11 @@ func (e *Engine) forward(rt *runtime, j int) {
 // reduction row. Seeding strictly before replay preserves the serial
 // elementwise accumulation order for boundaries that are both forwarded
 // and consumed locally (e.g. the Transformer's attention memory).
-func (e *Engine) backward(rt *runtime, j int) {
+func (e *Engine) backward(rt *runtime, j int) error {
 	m := rt.k*e.M/e.K + j
 	shard := e.shards[m]
 	if len(shard) == 0 {
-		return // row zeroed at forward time
+		return nil // row zeroed at forward time
 	}
 	tape := rt.tapes[j]
 	outs := rt.outs[j]
@@ -682,27 +947,46 @@ func (e *Engine) backward(rt *runtime, j int) {
 		e.losses[m] = loss.Scalar() * wgt
 		tape.Backward(loss)
 	} else {
-		slot := <-e.bwdCh[rt.k][rt.s]
-		if slot != j {
-			panic(fmt.Sprintf("pipeline: stage %d worker %d expected backward slot %d, got %d", rt.s, rt.k, j, slot))
+		payload, err := rt.recvFrame(rt.rank+1, streamBwd, j)
+		if err != nil {
+			return err
 		}
-		bx := &e.xfer[rt.k][rt.s][j]
-		for i, o := range outs {
-			o.Grad.AddInPlace(bx.grads[i])
+		// The frame is the concatenated gradients of this stage's outputs,
+		// in output order (the downstream stage's input-leaf order).
+		// Elementwise add in index order — the same accumulation the
+		// in-process pointer handoff performed.
+		for _, o := range outs {
+			g := o.Grad.Data
+			if len(payload) < len(g) {
+				return fmt.Errorf("pipeline: stage %d worker %d slot %d: truncated backward frame: %w", rt.s, rt.k, j, transport.ErrBadFrame)
+			}
+			for i := range g {
+				g[i] += payload[i]
+			}
+			payload = payload[len(g):]
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("pipeline: stage %d worker %d slot %d: %d trailing elements in backward frame: %w", rt.s, rt.k, j, len(payload), transport.ErrBadFrame)
 		}
 		tape.BackwardSeeded()
 	}
 
 	if rt.s > 0 {
-		bx := &e.xfer[rt.k][rt.s-1][j]
-		bx.grads = bx.grads[:0]
+		// Publish the input-leaf gradients upstream (shapes implied: they
+		// are the upstream stage's output shapes).
+		f := rt.enc[:0]
+		f = append(f, float64(j))
 		for _, v := range rt.ins[j] {
-			bx.grads = append(bx.grads, v.Grad)
+			f = append(f, v.Grad.Data...)
 			rt.bytes += v.Grad.Size() * 8
 		}
+		rt.enc = f
 		rt.sends++
-		e.bwdCh[rt.k][rt.s-1] <- j
+		if err := rt.mesh.Send(rt.rank-1, streamBwd, f); err != nil {
+			return err
+		}
 	}
 
 	autograd.FlattenGradsScaled(e.gbuf[rt.s][m], rt.params, wgt)
+	return nil
 }

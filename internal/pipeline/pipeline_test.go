@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/pipeline"
+	"repro/internal/transport"
 )
 
 var imgDSOnce = sync.OnceValue(func() *datasets.ImageDataset {
@@ -26,7 +27,8 @@ func newImagePipeline(t testing.TB, stages, workers, microbatches, batch int, sc
 	hp := models.DefaultImageHParams()
 	var reps []*models.ImageClassification
 	eng, err := pipeline.New(pipeline.Config{
-		Stages: stages, Workers: workers, Microbatches: microbatches,
+		Endpoint: transport.Endpoint{Workers: workers},
+		Stages:   stages, Microbatches: microbatches,
 		Schedule: sched, GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
 	}, func(worker int) []pipeline.StageReplica {
 		m := models.NewImageClassification(ds, hp, seed)
@@ -54,7 +56,8 @@ func imageSerialBaseline(t testing.TB, microbatches, batch, steps int, seed uint
 	hp := models.DefaultImageHParams()
 	var reps []*models.ImageClassification
 	eng, err := dist.New(dist.Config{
-		Workers: 1, Microshards: microbatches,
+		Endpoint:    transport.Endpoint{Workers: 1},
+		Microshards: microbatches,
 		GlobalBatch: batch, DatasetN: ds.Cfg.TrainN, Seed: seed,
 	}, func(worker int) dist.Replica {
 		m := models.NewImageClassification(ds, hp, seed)
@@ -170,7 +173,8 @@ func TestPPTransformerBitIdenticalGrid(t *testing.T) {
 	// is now data-parallel-capable too).
 	var serialReps []*models.Translation
 	serialEng, err := dist.New(dist.Config{
-		Workers: 1, Microshards: microbatches,
+		Endpoint:    transport.Endpoint{Workers: 1},
+		Microshards: microbatches,
 		GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
 	}, func(worker int) dist.Replica {
 		m := models.NewTranslation(ds, hp, seed)
@@ -193,7 +197,8 @@ func TestPPTransformerBitIdenticalGrid(t *testing.T) {
 			for _, workers := range []int{1, 2} {
 				var reps []*models.Translation
 				eng, err := pipeline.New(pipeline.Config{
-					Stages: stages, Workers: workers, Microbatches: microbatches,
+					Endpoint: transport.Endpoint{Workers: workers},
+					Stages:   stages, Microbatches: microbatches,
 					Schedule: sched, GlobalBatch: batch, DatasetN: len(ds.Train), Seed: seed,
 				}, func(worker int) []pipeline.StageReplica {
 					m := models.NewTranslation(ds, hp, seed)
@@ -240,7 +245,8 @@ func TestPPRaggedBatchesBitIdentical(t *testing.T) {
 
 	var serialReps []*models.ImageClassification
 	serialEng, err := dist.New(dist.Config{
-		Workers: 1, Microshards: microbatches,
+		Endpoint:    transport.Endpoint{Workers: 1},
+		Microshards: microbatches,
 		GlobalBatch: batch, DatasetN: datasetN, Seed: seed,
 	}, func(worker int) dist.Replica {
 		m := models.NewImageClassification(ds, hp, seed)
@@ -261,7 +267,8 @@ func TestPPRaggedBatchesBitIdentical(t *testing.T) {
 	for _, sched := range []pipeline.Schedule{pipeline.GPipe, pipeline.OneFOneB} {
 		var reps []*models.ImageClassification
 		eng, err := pipeline.New(pipeline.Config{
-			Stages: 2, Workers: 2, Microbatches: microbatches,
+			Endpoint: transport.Endpoint{Workers: 2},
+			Stages:   2, Microbatches: microbatches,
 			Schedule: sched, GlobalBatch: batch, DatasetN: datasetN, Seed: seed,
 		}, func(worker int) []pipeline.StageReplica {
 			m := models.NewImageClassification(ds, hp, seed)
@@ -334,18 +341,18 @@ func TestPPEngineValidation(t *testing.T) {
 		cfg  pipeline.Config
 		fac  func(int) []pipeline.StageReplica
 	}{
-		{"zero stages", pipeline.Config{Stages: 0, Workers: 1, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"zero workers", pipeline.Config{Stages: 2, Workers: 0, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"zero batch", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 0, DatasetN: 100}, okFactory},
-		{"zero dataset", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 8, DatasetN: 0}, okFactory},
-		{"negative chunks", pipeline.Config{Stages: 2, Workers: 1, Chunks: -1, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"microbatches not multiple", pipeline.Config{Stages: 2, Workers: 2, Microbatches: 3, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"microbatches exceed batch", pipeline.Config{Stages: 2, Workers: 2, Microbatches: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"bad schedule", pipeline.Config{Stages: 2, Workers: 1, Schedule: "zigzag", GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"droplast batch over dataset", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 200, DatasetN: 100, DropLast: true}, okFactory},
-		{"nil factory", pipeline.Config{Stages: 2, Workers: 1, GlobalBatch: 8, DatasetN: 100}, nil},
-		{"wrong stage count", pipeline.Config{Stages: 3, Workers: 1, GlobalBatch: 8, DatasetN: 100}, okFactory},
-		{"mismatched replicas", pipeline.Config{Stages: 2, Workers: 2, GlobalBatch: 8, DatasetN: 100}, func(worker int) []pipeline.StageReplica {
+		{"zero stages", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1}, Stages: 0, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"zero workers", pipeline.Config{Endpoint: transport.Endpoint{Workers: 0}, Stages: 2, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"zero batch", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1}, Stages: 2, GlobalBatch: 0, DatasetN: 100}, okFactory},
+		{"zero dataset", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1}, Stages: 2, GlobalBatch: 8, DatasetN: 0}, okFactory},
+		{"negative chunks", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1, Chunks: -1}, Stages: 2, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"microbatches not multiple", pipeline.Config{Endpoint: transport.Endpoint{Workers: 2}, Stages: 2, Microbatches: 3, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"microbatches exceed batch", pipeline.Config{Endpoint: transport.Endpoint{Workers: 2}, Stages: 2, Microbatches: 16, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"bad schedule", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1}, Stages: 2, Schedule: "zigzag", GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"droplast batch over dataset", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1}, Stages: 2, GlobalBatch: 200, DatasetN: 100, DropLast: true}, okFactory},
+		{"nil factory", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1}, Stages: 2, GlobalBatch: 8, DatasetN: 100}, nil},
+		{"wrong stage count", pipeline.Config{Endpoint: transport.Endpoint{Workers: 1}, Stages: 3, GlobalBatch: 8, DatasetN: 100}, okFactory},
+		{"mismatched replicas", pipeline.Config{Endpoint: transport.Endpoint{Workers: 2}, Stages: 2, GlobalBatch: 8, DatasetN: 100}, func(worker int) []pipeline.StageReplica {
 			m := models.NewImageClassification(ds, hp, uint64(worker)) // different seeds: different init
 			parts, err := m.PipelineStages(2)
 			if err != nil {

@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bitPatterns is a payload that only survives a transport preserving exact
+// float64 bits: quiet/patterned NaNs, signed zeros, infinities, denormals.
+var bitPatterns = []uint64{
+	0x7ff8000000000001, // quiet NaN with payload
+	0x7ff0000000000001, // signalling-style NaN
+	0xfff800000000dead, // negative NaN with payload
+	0x8000000000000000, // -0.0
+	0x0000000000000001, // smallest denormal
+	0x7fefffffffffffff, // largest finite
+	0x7ff0000000000000, // +Inf
+	0xfff0000000000000, // -Inf
+	0x3ff0000000000000, // 1.0
+}
+
+func patternFloats() []float64 {
+	out := make([]float64, len(bitPatterns))
+	for i, b := range bitPatterns {
+		out[i] = math.Float64frombits(b)
+	}
+	return out
+}
+
+func requireBits(t *testing.T, got []float64) {
+	t.Helper()
+	if len(got) != len(bitPatterns) {
+		t.Fatalf("got %d floats, want %d", len(got), len(bitPatterns))
+	}
+	for i, v := range got {
+		if math.Float64bits(v) != bitPatterns[i] {
+			t.Fatalf("element %d: bits %016x, want %016x", i, math.Float64bits(v), bitPatterns[i])
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", Chan, true},
+		{"chan", Chan, true},
+		{"tcp", TCP, true},
+		{"mpi", "", false},
+	} {
+		got, err := ParseBackend(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseBackend(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestEndpointValidate(t *testing.T) {
+	fab := NewLocalFabric(2, nil)
+	defer fab.Endpoint(0).Close()
+	for _, tc := range []struct {
+		name string
+		ep   Endpoint
+		ok   bool
+	}{
+		{"defaults", Endpoint{Workers: 1}, true},
+		{"chunks", Endpoint{Workers: 4, Chunks: 8}, true},
+		{"no workers", Endpoint{}, false},
+		{"negative chunks", Endpoint{Workers: 1, Chunks: -1}, false},
+		{"bad backend", Endpoint{Workers: 1, Backend: "mpi"}, false},
+		{"rank without mesh", Endpoint{Workers: 1, Rank: 1}, false},
+		{"tcp without mesh", Endpoint{Workers: 2, Backend: TCP}, false},
+		{"shard", Endpoint{Workers: 2, Mesh: fab.Endpoint(1), Rank: 1}, true},
+		{"shard rank high", Endpoint{Workers: 2, Mesh: fab.Endpoint(1), Rank: 2}, false},
+		{"shard rank negative", Endpoint{Workers: 2, Mesh: fab.Endpoint(1), Rank: -1}, false},
+	} {
+		err := tc.ep.Validate("pkgname")
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+		if err != nil && err.Error()[:7] != "pkgname" {
+			t.Errorf("%s: error %q not prefixed with the embedding package", tc.name, err)
+		}
+	}
+}
+
+func TestLocalFabricBitExactOrderedStreams(t *testing.T) {
+	fab := NewLocalFabric(2, nil)
+	a, b := fab.Endpoint(0), fab.Endpoint(1)
+	defer a.Close()
+	defer b.Close()
+
+	// Two streams interleaved: per-stream FIFO, streams independent.
+	if err := a.Send(1, 7, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, 9, patternFloats()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, 7, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := b.Recv(0, 9, make([]float64, len(bitPatterns)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBits(t, got)
+	for want := 1.0; want <= 2; want++ {
+		one, err := b.Recv(0, 7, make([]float64, 1))
+		if err != nil || len(one) != 1 || one[0] != want {
+			t.Fatalf("stream 7: got %v, %v; want [%v]", one, err, want)
+		}
+	}
+}
+
+func TestLocalFabricBarrier(t *testing.T) {
+	const world = 3
+	fab := NewLocalFabric(world, nil)
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fab.Endpoint(r).Barrier()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d barrier: %v", r, err)
+		}
+	}
+	for r := 0; r < world; r++ {
+		fab.Endpoint(r).Close()
+	}
+}
+
+func TestLocalFabricFailWakesBlockedRecv(t *testing.T) {
+	fab := NewLocalFabric(2, nil)
+	defer fab.Endpoint(0).Close()
+
+	boom := errors.New("injected death")
+	done := make(chan error, 1)
+	go func() {
+		_, err := fab.Endpoint(0).Recv(1, 1, nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Recv block
+	fab.Fail(1, boom)
+
+	select {
+	case err := <-done:
+		var pe *PeerError
+		if !errors.As(err, &pe) || pe.Rank != 1 || !errors.Is(err, boom) {
+			t.Fatalf("recv after fail: %v; want *PeerError{Rank: 1} wrapping the cause", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Recv not woken by Fail")
+	}
+	// Sends toward the dead rank fail typed too.
+	if err := fab.Endpoint(0).Send(1, 1, []float64{1}); !errors.Is(err, boom) {
+		t.Fatalf("send to dead rank: %v; want the failure cause", err)
+	}
+	// The leave event is emitted to survivors.
+	select {
+	case ev := <-fab.Endpoint(0).Events():
+		if ev.Kind != EventLeave || ev.Rank != 1 || !errors.Is(ev.Err, boom) {
+			t.Fatalf("event %+v; want Leave for rank 1", ev)
+		}
+	default:
+		t.Fatal("no leave event after Fail")
+	}
+}
+
+func TestLocalFabricCloseFailsPeersFast(t *testing.T) {
+	fab := NewLocalFabric(2, nil)
+	fab.Endpoint(1).Close()
+	_, err := fab.Endpoint(0).Recv(1, 1, nil)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv from closed peer: %v; want ErrClosed", err)
+	}
+	fab.Endpoint(0).Close()
+}
+
+func TestLocalFabricStraggler(t *testing.T) {
+	fab := NewLocalFabric(2, nil)
+	fab.Straggler = 30 * time.Millisecond
+	a, b := fab.Endpoint(0), fab.Endpoint(1)
+	defer a.Close()
+	defer b.Close()
+
+	_, err := b.Recv(0, 1, nil)
+	if !errors.Is(err, ErrStraggler) {
+		t.Fatalf("recv with no sender: %v; want ErrStraggler", err)
+	}
+	// The link stays usable: the peer is not marked down.
+	if err := a.Send(1, 1, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(0, 1, make([]float64, 1))
+	if err != nil || got[0] != 42 {
+		t.Fatalf("recv after straggle: %v, %v; want [42]", got, err)
+	}
+}
+
+func TestSubMeshView(t *testing.T) {
+	fab := NewLocalFabric(4, nil)
+	// Sub-group {1, 3}: view rank 0 is global 1, view rank 1 is global 3.
+	v1 := Sub(fab.Endpoint(1), []int{1, 3})
+	v3 := Sub(fab.Endpoint(3), []int{1, 3})
+	if v1.Rank() != 0 || v3.Rank() != 1 || v1.World() != 2 {
+		t.Fatalf("sub view ranks/world = %d/%d/%d; want 0/1/2", v1.Rank(), v3.Rank(), v1.World())
+	}
+	if err := v1.Send(1, 5, patternFloats()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v3.Recv(0, 5, make([]float64, len(bitPatterns)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBits(t, got)
+
+	var wg sync.WaitGroup
+	for _, m := range []Mesh{v1, v3} {
+		wg.Add(1)
+		go func(m Mesh) { defer wg.Done(); m.Barrier() }(m)
+	}
+	wg.Wait()
+
+	// Fail through the view translates to the global rank.
+	v1.Fail(1, errors.New("down"))
+	if _, err := fab.Endpoint(0).Recv(3, 1, nil); err == nil {
+		t.Fatal("global rank 3 should be down after view Fail(1)")
+	}
+	for r := 0; r < 4; r++ {
+		fab.Endpoint(r).Close()
+	}
+}
+
+func TestSubMeshRejectsNonMembers(t *testing.T) {
+	fab := NewLocalFabric(2, nil)
+	defer fab.Endpoint(0).Close()
+	defer fab.Endpoint(1).Close()
+	for _, members := range [][]int{{1}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sub(%v) from rank 0 did not panic", members)
+				}
+			}()
+			Sub(fab.Endpoint(0), members)
+		}()
+	}
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/arena"
+)
+
+// queue is one ordered (sender, receiver, stream) message lane: an
+// unbounded FIFO of pooled float buffers with a single consumer. Senders
+// never block (the engines' pipelining depends on that — ring chunk sends
+// and boundary publishes must not rendezvous), and a terminal error poisons
+// the lane: the consumer wakes immediately and every later pop fails with
+// the same cause. Warm push/pop perform zero heap allocations: the item
+// ring reuses its backing array and wakeups ride a 1-buffered channel.
+type queue struct {
+	mu    sync.Mutex
+	items [][]float64
+	head  int
+	err   error
+
+	// notify carries at most one pending wakeup token; pop re-checks
+	// state after every receive, so a coalesced token cannot lose a
+	// message or a poisoning.
+	notify chan struct{}
+}
+
+func newQueue() *queue {
+	return &queue{notify: make(chan struct{}, 1)}
+}
+
+// push appends a message the queue now owns (a pooled buffer; see drainTo).
+// On a poisoned queue it returns the poison cause and does NOT take
+// ownership — the caller reclaims the buffer.
+func (q *queue) push(data []float64) error {
+	q.mu.Lock()
+	if q.err != nil {
+		err := q.err
+		q.mu.Unlock()
+		return err
+	}
+	if q.head == len(q.items) {
+		// Fully drained: restart at the front so the backing array is
+		// reused instead of growing without bound.
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, data)
+	q.mu.Unlock()
+	q.wake()
+	return nil
+}
+
+// pop blocks for the next message and transfers its ownership to the
+// caller. A positive timeout bounds the wait (ErrStraggler); the queue
+// stays usable afterwards. A poisoned queue fails immediately once empty
+// of nothing — poisoning drains pending messages, so poison takes effect
+// at once.
+func (q *queue) pop(timeout time.Duration) ([]float64, error) {
+	var timer *time.Timer
+	for {
+		q.mu.Lock()
+		if q.head < len(q.items) {
+			data := q.items[q.head]
+			q.items[q.head] = nil
+			q.head++
+			q.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return data, nil
+		}
+		if q.err != nil {
+			err := q.err
+			q.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil, err
+		}
+		q.mu.Unlock()
+
+		if timeout <= 0 {
+			<-q.notify
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+		}
+		select {
+		case <-q.notify:
+		case <-timer.C:
+			return nil, ErrStraggler
+		}
+	}
+}
+
+// fail poisons the queue with cause err (first cause wins), reclaims every
+// pending message into pool, and wakes the consumer.
+func (q *queue) fail(err error, pool *arena.Arena) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	pending := q.items[q.head:]
+	q.items = nil
+	q.head = 0
+	q.mu.Unlock()
+	for _, data := range pending {
+		pool.Put(data)
+	}
+	q.wake()
+}
+
+func (q *queue) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newCoordinator(t *testing.T, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(ln, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord
+}
+
+func joinAll(t *testing.T, coord *Coordinator, world int) []*Session {
+	t.Helper()
+	sessions := make([]*Session, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for i := 0; i < world; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sessions[i], errs[i] = Join(SessionConfig{
+				Coordinator: coord.Addr(),
+				Rank:        -1, // coordinator assignment
+				Addr:        "mesh-addr-placeholder",
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	return sessions
+}
+
+func TestRendezvousJoinReportWait(t *testing.T) {
+	const world = 3
+	coord := newCoordinator(t, CoordinatorConfig{World: world})
+	sessions := joinAll(t, coord, world)
+
+	seen := make([]bool, world)
+	for _, s := range sessions {
+		if s.World != world || len(s.Addrs) != world {
+			t.Fatalf("session world/table = %d/%d; want %d", s.World, len(s.Addrs), world)
+		}
+		if s.Rank < 0 || s.Rank >= world || seen[s.Rank] {
+			t.Fatalf("rank %d invalid or assigned twice", s.Rank)
+		}
+		seen[s.Rank] = true
+	}
+
+	// A coordinator-mediated barrier releases everyone.
+	var wg sync.WaitGroup
+	barErrs := make([]error, world)
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) { defer wg.Done(); barErrs[i] = s.Barrier() }(i, s)
+	}
+	wg.Wait()
+	for i, err := range barErrs {
+		if err != nil {
+			t.Fatalf("session %d barrier: %v", i, err)
+		}
+	}
+
+	for _, s := range sessions {
+		if err := s.Report(WorkerResult{Rank: s.Rank, Steps: 5, Digest: "abc"}); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	results, err := coord.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	for r, res := range results {
+		if res == nil || res.Rank != r || res.Steps != 5 {
+			t.Fatalf("result[%d] = %+v; want rank %d with 5 steps", r, res, r)
+		}
+	}
+}
+
+// TestRendezvousDeathDetection kills one worker's control connection before
+// it reports: the coordinator must resolve Wait with a typed *PeerError and
+// broadcast the death to the survivor's OnPeerDown hook.
+func TestRendezvousDeathDetection(t *testing.T) {
+	coord := newCoordinator(t, CoordinatorConfig{World: 2})
+	sessions := joinAll(t, coord, 2)
+	s0, s1 := sessions[0], sessions[1]
+	if s0.Rank != 0 {
+		s0, s1 = s1, s0
+	}
+
+	downCh := make(chan int, 1)
+	s0.OnPeerDown(func(rank int, err error) { downCh <- rank })
+
+	s1.Close() // dies without reporting — a crash, not a graceful exit
+
+	results, err := coord.Wait()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Rank != s1.Rank {
+		t.Fatalf("Wait after worker death: %v; want *PeerError{Rank: %d}", err, s1.Rank)
+	}
+	if results[s1.Rank] != nil {
+		t.Fatalf("dead worker has a result: %+v", results[s1.Rank])
+	}
+
+	select {
+	case r := <-downCh:
+		if r != s1.Rank {
+			t.Fatalf("OnPeerDown rank %d; want %d", r, s1.Rank)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivor never notified of the peer death")
+	}
+	if err := s0.PeerDown(); err == nil {
+		t.Fatal("PeerDown nil after a broadcast death")
+	}
+	s0.Close()
+}
+
+// TestRendezvousHeartbeatTimeout joins one worker through a raw connection
+// that never heartbeats: the coordinator must declare it down within the
+// heartbeat window with the typed cause.
+func TestRendezvousHeartbeatTimeout(t *testing.T) {
+	coord := newCoordinator(t, CoordinatorConfig{
+		World:             2,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatWindow:   150 * time.Millisecond,
+	})
+
+	// Raw rank-0: joins, then goes silent (no heartbeat loop).
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload, _ := json.Marshal(joinMsg{Rank: 0, Addr: "silent"})
+	if _, err := conn.Write(appendFrame(nil, frameJoin, 0, payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Real rank-1 keeps beating.
+	sess, err := Join(SessionConfig{Coordinator: coord.Addr(), Rank: 1, Addr: "live"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	_, err = coord.Wait()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Rank != 0 || !errors.Is(err, ErrHeartbeat) {
+		t.Fatalf("Wait: %v; want *PeerError{Rank: 0} wrapping ErrHeartbeat", err)
+	}
+}
+
+func TestRendezvousJoinTimeout(t *testing.T) {
+	coord := newCoordinator(t, CoordinatorConfig{
+		World:       2,
+		JoinTimeout: 100 * time.Millisecond,
+	})
+	// Nobody joins.
+	_, err := coord.Wait()
+	if err == nil {
+		t.Fatal("Wait resolved nil with an incomplete world")
+	}
+}
+
+// TestRendezvousGracefulCloseAfterReport: a connection drop after the
+// result was recorded is a normal exit, not a failure.
+func TestRendezvousGracefulCloseAfterReport(t *testing.T) {
+	coord := newCoordinator(t, CoordinatorConfig{World: 1})
+	sessions := joinAll(t, coord, 1)
+	if err := sessions[0].Report(WorkerResult{Rank: 0, Steps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sessions[0].Close()
+	if _, err := coord.Wait(); err != nil {
+		t.Fatalf("Wait after graceful close: %v", err)
+	}
+}
+
+// TestRendezvousErrResultFailsRun: a worker reporting a run error resolves
+// Wait with a failure naming that rank.
+func TestRendezvousErrResultFailsRun(t *testing.T) {
+	coord := newCoordinator(t, CoordinatorConfig{World: 2})
+	sessions := joinAll(t, coord, 2)
+	for _, s := range sessions {
+		if s.Rank == 1 {
+			s.Report(WorkerResult{Rank: 1, Err: "step 3: peer exploded"})
+		}
+	}
+	_, err := coord.Wait()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Rank != 1 {
+		t.Fatalf("Wait: %v; want *PeerError{Rank: 1}", err)
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+}

@@ -1,0 +1,309 @@
+// Package transport abstracts the communication substrate under the
+// distributed training engines: ordered, reliable point-to-point transfer
+// of float64 chunks between the members of a fixed-size group, plus a
+// barrier and join/leave membership events. Two backends implement the
+// Mesh contract:
+//
+//   - the in-process channel backend (LocalFabric), extracted from the ring
+//     legs in dist.Ring and the per-(worker,gap,slot) boundary cells in
+//     internal/pipeline — the bit-identity oracle every other backend is
+//     measured against, and still the engine default;
+//   - a TCP backend (DialTCPMesh) on stdlib net with length-prefixed CRC
+//     frames, connection reuse, and configurable deadlines, so a DP×PP grid
+//     can run as K·S separate OS processes (see internal/grid and
+//     cmd/mlperf-worker).
+//
+// Because a message copy preserves float64 bits exactly and the engines fix
+// their reduction orders independently of the transport, any conforming
+// Mesh produces bit-identical parameter trajectories — the determinism
+// contract (§3.3) that lets the TCP backend be validated against the
+// in-process one, which is itself validated against the serial baseline.
+//
+// Messages within one (sender, receiver, stream) triple are delivered in
+// send order; distinct streams multiplex independent traffic (e.g. the
+// ring's reduce and gather legs, the pipeline's forward and backward
+// boundaries) over one connection without interference. Failure surfaces
+// as *PeerError values wrapping the typed sentinel causes (ErrClosed,
+// ErrStraggler, ErrChecksum, ErrFrameTooLarge, ErrBadFrame) — never as a
+// hang: a peer death poisons every queue touching that peer and wakes all
+// blocked receivers.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Backend names a Mesh implementation in configuration surfaces.
+type Backend string
+
+const (
+	// Chan is the in-process channel backend — the default and the
+	// bit-identity oracle.
+	Chan Backend = "chan"
+	// TCP is the multi-process loopback/network backend.
+	TCP Backend = "tcp"
+)
+
+// ParseBackend maps a flag string to a Backend ("" selects Chan).
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "", Chan:
+		return Chan, nil
+	case TCP:
+		return TCP, nil
+	}
+	return "", fmt.Errorf("transport: unknown backend %q (want %q or %q)", s, Chan, TCP)
+}
+
+// Mesh is a fixed-size communication group seen from one member. Send and
+// Recv must be called from a single goroutine per endpoint (each engine
+// runtime owns its endpoint); Fail, Close, and Events are safe from any
+// goroutine.
+type Mesh interface {
+	// Rank returns this endpoint's member index in [0, World).
+	Rank() int
+	// World returns the group size.
+	World() int
+	// Send transfers a copy of data to member `to` on the given stream.
+	// It does not block on the receiver (backends buffer or write through)
+	// and returns a *PeerError if the destination is down.
+	Send(to int, stream uint32, data []float64) error
+	// Recv blocks for the next message from member `from` on the given
+	// stream and returns it copied into buf when buf has capacity for it
+	// (a fresh slice otherwise — steady-state callers pass a buffer of the
+	// expected size to stay allocation-free). It returns a *PeerError when
+	// the peer is down or, with a straggler timeout configured, when no
+	// message arrives in time (cause ErrStraggler; the link stays usable).
+	Recv(from int, stream uint32, buf []float64) ([]float64, error)
+	// Barrier blocks until every member has entered it (stream
+	// StreamBarrier is reserved for its token exchange).
+	Barrier() error
+	// Events returns the membership event feed (join/leave). The channel
+	// is buffered and never closed; events are dropped if the buffer is
+	// full, so it is a liveness signal, not a reliable log.
+	Events() <-chan Event
+	// Fail marks a peer as down with the given cause: pending and future
+	// Recvs from it (and Sends to it) return a *PeerError, and a Leave
+	// event is emitted. Used by failure detectors (rendezvous heartbeats).
+	Fail(rank int, err error)
+	// Close tears this endpoint down: its own rank is marked down so
+	// peers blocked on it fail fast instead of hanging, and all queued
+	// buffers are reclaimed. Idempotent.
+	Close() error
+}
+
+// StreamBarrier is the stream tag reserved for Barrier's token exchange;
+// engine traffic must use other tags.
+const StreamBarrier uint32 = 0xBA11
+
+// EventKind classifies membership events.
+type EventKind int
+
+const (
+	// Join reports a member coming up.
+	EventJoin EventKind = iota + 1
+	// Leave reports a member going down (Event.Err holds the cause).
+	EventLeave
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one membership change.
+type Event struct {
+	// Rank is the member the event concerns.
+	Rank int
+	// Kind is the change direction.
+	Kind EventKind
+	// Err is the failure cause for Leave events (nil for graceful closes
+	// is allowed but Close reports ErrClosed).
+	Err error
+}
+
+// Typed failure causes. A Mesh surfaces them wrapped in *PeerError, so
+// callers match with errors.Is.
+var (
+	// ErrClosed reports an endpoint that was torn down gracefully.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrStraggler reports a peer that exceeded the configured straggler
+	// timeout without delivering a message. The peer is not marked down.
+	ErrStraggler = errors.New("transport: peer exceeded straggler timeout")
+	// ErrFrameTooLarge reports a frame whose payload exceeds the
+	// configured maximum — a corrupt length prefix or a hostile peer.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrChecksum reports a payload whose CRC does not match its header.
+	ErrChecksum = errors.New("transport: frame checksum mismatch")
+	// ErrBadFrame reports a structurally malformed frame.
+	ErrBadFrame = errors.New("transport: malformed frame")
+	// ErrHeartbeat reports a worker that missed the rendezvous
+	// coordinator's heartbeat window.
+	ErrHeartbeat = errors.New("transport: heartbeat window exceeded")
+)
+
+// PeerError attributes a transport failure to a specific member.
+type PeerError struct {
+	// Rank is the peer the operation involved.
+	Rank int
+	// Op is the failing operation ("send", "recv", "barrier", "dial",
+	// "heartbeat", ...).
+	Op string
+	// Err is the cause (often one of the sentinel errors above).
+	Err error
+}
+
+// Error implements error.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("transport: peer %d: %s: %v", e.Rank, e.Op, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+func peerErr(rank int, op string, err error) error {
+	return &PeerError{Rank: rank, Op: op, Err: err}
+}
+
+// Endpoint is the communication-group spec shared by dist.Config and
+// pipeline.Config (embedded), so the engines stop re-declaring worker,
+// chunk, and clock knobs separately and validate them through one tested
+// formatter.
+type Endpoint struct {
+	// Workers is K, the data-parallel worker (replica) count (>= 1).
+	Workers int
+	// Chunks is the ring all-reduce chunk count (the pipelining grain);
+	// 0 selects Workers. It never affects results, only message sizing.
+	Chunks int
+	// Clock times engine steps. Nil selects a wall clock; tests inject a
+	// deterministic clock (e.g. clock.Sim).
+	Clock clock.Clock
+	// Backend names the transport ("" selects Chan). The in-process
+	// backends build their own fabric; TCP requires a pre-built Mesh.
+	Backend Backend
+	// Mesh, when non-nil, switches the engine into multi-process shard
+	// mode: it runs only the member identified by Rank and exchanges
+	// gradients/activations with the other OS processes through the mesh
+	// (built by DialTCPMesh and a rendezvous Session; see internal/grid).
+	Mesh Mesh
+	// Rank is this process's member index within Mesh (shard mode only).
+	Rank int
+}
+
+// Sharded reports whether the endpoint selects multi-process shard mode.
+func (e Endpoint) Sharded() bool { return e.Mesh != nil }
+
+// Validate checks the group spec, prefixing errors with the embedding
+// package's name — the one shared validation formatter for every engine
+// config.
+func (e Endpoint) Validate(pkg string) error {
+	if e.Workers < 1 {
+		return fmt.Errorf("%s: Workers %d < 1", pkg, e.Workers)
+	}
+	if e.Chunks < 0 {
+		return fmt.Errorf("%s: Chunks %d < 0 (0 selects Workers)", pkg, e.Chunks)
+	}
+	switch e.Backend {
+	case "", Chan, TCP:
+	default:
+		return fmt.Errorf("%s: unknown transport backend %q (want %q or %q)", pkg, e.Backend, Chan, TCP)
+	}
+	if e.Mesh == nil {
+		if e.Rank != 0 {
+			return fmt.Errorf("%s: Rank %d set without a Mesh (Rank selects this process's member in multi-process shard mode)", pkg, e.Rank)
+		}
+		if e.Backend == TCP {
+			return fmt.Errorf("%s: Backend %q requires a pre-built Mesh (dial it with transport.DialTCPMesh and launch workers via cmd/mlperf-worker)", pkg, TCP)
+		}
+		return nil
+	}
+	if e.Rank < 0 || e.Rank >= e.Mesh.World() {
+		return fmt.Errorf("%s: Rank %d outside Mesh world [0, %d)", pkg, e.Rank, e.Mesh.World())
+	}
+	return nil
+}
+
+// Sub returns a sub-group view of m over the given member ranks (in group
+// order): member i of the view is global rank members[i]. The underlying
+// endpoint must itself be one of the members. Streams and events pass
+// through to the parent (events still carry global ranks), so a Sub must
+// use stream tags disjoint from other traffic between the same rank pairs.
+// Closing the view closes the underlying endpoint; callers that do not own
+// the parent should not Close the view.
+func Sub(m Mesh, members []int) Mesh {
+	self := -1
+	for i, r := range members {
+		if r == m.Rank() {
+			self = i
+		}
+		if r < 0 || r >= m.World() {
+			panic(fmt.Sprintf("transport: Sub member %d outside world [0, %d)", r, m.World()))
+		}
+	}
+	if self < 0 {
+		panic(fmt.Sprintf("transport: Sub members %v exclude the local rank %d", members, m.Rank()))
+	}
+	ms := make([]int, len(members))
+	copy(ms, members)
+	return &subMesh{m: m, members: ms, self: self}
+}
+
+type subMesh struct {
+	m       Mesh
+	members []int
+	self    int
+}
+
+func (s *subMesh) Rank() int  { return s.self }
+func (s *subMesh) World() int { return len(s.members) }
+
+func (s *subMesh) Send(to int, stream uint32, data []float64) error {
+	return s.m.Send(s.members[to], stream, data)
+}
+
+func (s *subMesh) Recv(from int, stream uint32, buf []float64) ([]float64, error) {
+	return s.m.Recv(s.members[from], stream, buf)
+}
+
+func (s *subMesh) Barrier() error           { return meshBarrier(s) }
+func (s *subMesh) Events() <-chan Event     { return s.m.Events() }
+func (s *subMesh) Fail(rank int, err error) { s.m.Fail(s.members[rank], err) }
+func (s *subMesh) Close() error             { return s.m.Close() }
+
+// meshBarrier is the shared Barrier implementation: rank 0 collects one
+// token from every other member, then releases them. Not a hot path — one
+// small message per member per call.
+func meshBarrier(m Mesh) error {
+	if m.World() == 1 {
+		return nil
+	}
+	// Send/Recv already wrap failures in *PeerError with the peer rank.
+	var token [1]float64
+	if m.Rank() == 0 {
+		for r := 1; r < m.World(); r++ {
+			if _, err := m.Recv(r, StreamBarrier, token[:]); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < m.World(); r++ {
+			if err := m.Send(r, StreamBarrier, token[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := m.Send(0, StreamBarrier, token[:]); err != nil {
+		return err
+	}
+	_, err := m.Recv(0, StreamBarrier, token[:])
+	return err
+}
