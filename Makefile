@@ -2,13 +2,13 @@ GO ?= go
 
 BENCH_SMOKE_OUT ?= bench-smoke.out
 
-.PHONY: all ci check fmt vet staticcheck lint build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32 multiproc-smoke
+.PHONY: all ci check fmt vet staticcheck lint build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32 multiproc-smoke serve-smoke
 
 all: check
 
 # Everything CI runs, in the same order — reproduce any CI failure locally
 # with exactly `make ci` (the workflow jobs call these same targets).
-ci: check race multiproc-smoke bench-smoke smoke-f32
+ci: check race multiproc-smoke bench-smoke smoke-f32 serve-smoke
 
 # The fast gate: formatting, static checks (incl. the repo's own analyzer
 # suite), a full build, and the fast tests.
@@ -68,14 +68,15 @@ bench:
 
 # Compile-and-run-once smoke over every benchmark in the repo, then fail if
 # any steady-state step benchmark (BenchmarkStepAllocs* for serial/DP,
-# BenchmarkStepPipeline* for PP and hybrid DP×PP) or GEMM kernel benchmark
-# (BenchmarkGEMM*, incl. the naive references) reports a nonzero
-# allocs/op — the allocation-free hot-path regression gate.
+# BenchmarkStepPipeline* for PP and hybrid DP×PP), GEMM kernel benchmark
+# (BenchmarkGEMM*, incl. the naive references), or warm serving-step
+# benchmark (BenchmarkServe*) reports a nonzero allocs/op — the
+# allocation-free hot-path regression gate.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > $(BENCH_SMOKE_OUT) || (cat $(BENCH_SMOKE_OUT); exit 1)
 	@cat $(BENCH_SMOKE_OUT)
-	@awk '/^Benchmark(Step(Allocs|Pipeline)|GEMM)/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: hot path allocates: " $$0; bad = 1 } } \
-		END { if (bad) exit 1; print "bench-smoke: all BenchmarkStepAllocs*/BenchmarkStepPipeline*/BenchmarkGEMM* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
+	@awk '/^Benchmark(Step(Allocs|Pipeline)|GEMM|Serve)/ { if ($$(NF-1) != "0" || $$NF != "allocs/op") { print "FAIL: hot path allocates: " $$0; bad = 1 } } \
+		END { if (bad) exit 1; print "bench-smoke: all BenchmarkStepAllocs*/BenchmarkStepPipeline*/BenchmarkGEMM*/BenchmarkServe* report 0 allocs/op" }' $(BENCH_SMOKE_OUT)
 
 # Pipeline-only slice of bench-smoke: run just the pipeline step benchmarks
 # and apply the same nonzero-alloc gate (fast local check for PP changes).
@@ -94,6 +95,20 @@ smoke-f32:
 	$(GO) run ./cmd/mlperf -benchmark recommendation -dtype f32 -runs 1 -max-epochs 2
 	$(GO) run ./cmd/mlperf -benchmark recommendation -dtype bf16 -runs 1 -max-epochs 2
 	$(GO) test -run 'F32|BF16|Numerics|StatCheck|Quantize|MP|LP' ./internal/tensor ./internal/autograd ./internal/precision ./internal/core ./internal/dist
+
+# Serving smoke: train a tiny NCF in-process, snapshot its parameters, and
+# serve it under every traffic scenario (single-stream, multi-stream,
+# offline, and Poisson server) through cmd/mlperf-serve, bounded by a hard
+# timeout so an overload-path hang fails fast. The grep asserts an SLO
+# verdict was actually emitted for the gated run — the train→snapshot→serve
+# pipeline end to end.
+serve-smoke:
+	timeout 300 $(GO) run ./cmd/mlperf-serve -train -epochs 2 -scenario all \
+		-queries 400 -qps 300 -slo 250ms -strict > serve-smoke.out || (cat serve-smoke.out; exit 1)
+	@cat serve-smoke.out
+	@grep -q 'SLO valid' serve-smoke.out || (echo "FAIL: no SLO verdict in serve-smoke output"; exit 1)
+	@rm -f serve-smoke.out
+	@echo "serve-smoke: all four scenarios served with a valid SLO verdict"
 
 # Just the serial-vs-parallel substrate comparisons.
 bench-kernels:

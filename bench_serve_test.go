@@ -1,0 +1,66 @@
+package repro
+
+// Serving-harness benchmarks. BenchmarkServe* names are load-bearing: the
+// bench-smoke awk gate requires every one of them to report 0 allocs/op,
+// the warm serving hot path's counterpart of the training-step gate.
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+func servePredictor(b *testing.B) *models.RecPredictor {
+	b.Helper()
+	ds := datasets.GenerateRec(datasets.DefaultRecConfig())
+	// nil snapshot: freshly initialized parameters — the hot-path shape is
+	// identical to a restored model, and nothing here trains.
+	pred, err := models.NewRecPredictor(ds, models.DefaultNCFHParams(), nil, models.RecPoolNegatives, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pred
+}
+
+// BenchmarkServeSingleStreamStep is the warm single-stream serving step:
+// one query through the persistent inference context, tape-slot replay, no
+// allocations once warm.
+func BenchmarkServeSingleStreamStep(b *testing.B) {
+	pred := servePredictor(b)
+	backend := serve.Backend{
+		Name:       "recommendation",
+		Samples:    pred.Samples(),
+		NewContext: func() serve.InferContext { return pred.NewContext() },
+	}
+	ss := serve.NewSingleStream(backend, nil)
+	for i := 0; i < 3; i++ { // warm the tape's op slots
+		ss.Step(i % backend.Samples)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Step(i % backend.Samples)
+	}
+}
+
+// BenchmarkServeInferBatch8 is the warm batched inference step at the
+// dynamic batcher's default coalesced size.
+func BenchmarkServeInferBatch8(b *testing.B) {
+	pred := servePredictor(b)
+	ctx := pred.NewContext()
+	samples := make([]int, 8)
+	out := make([]float64, 8)
+	for i := range samples {
+		samples[i] = (i * 11) % pred.Samples()
+	}
+	for i := 0; i < 3; i++ {
+		ctx.InferBatch(samples, out)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.InferBatch(samples, out)
+	}
+}

@@ -68,6 +68,19 @@
 //	                      FNV-1a parameter-trajectory digests, and the
 //	                      in-process Reference run the TCP grid must
 //	                      reproduce bit-for-bit
+//	internal/serve      — LoadGen-style serving harness over trained
+//	                      models: four traffic scenarios (single-stream,
+//	                      multi-stream, offline, Poisson server), a dynamic
+//	                      batcher over an admission-controlled bounded
+//	                      queue (overload is a typed *OverloadError, never
+//	                      a hang), R-7 tail-latency quantiles via
+//	                      core.Quantile, SLO verdicts, and binary-searched
+//	                      max sustainable QPS; arrival schedules and
+//	                      predictions are bit-reproducible at a fixed seed
+//	                      across runs and worker counts. Driven by
+//	                      cmd/mlperf-serve; fed by models.Snapshot, the
+//	                      deterministic digest-verified parameter handoff
+//	                      from core.Run's CaptureParams
 //	internal/leakcheck  — goroutine-leak assertions for teardown tests
 //	internal/goboard    — Go engine; internal/mcts — self-play search
 //	internal/mlog       — MLLOG structured logging

@@ -5,7 +5,9 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/autograd"
 	"repro/internal/mlog"
+	"repro/internal/models"
 )
 
 // CompileExclusionCap is the §3.2.1 limit on excluded model-creation/
@@ -40,6 +42,12 @@ type RunConfig struct {
 	// Verify, when non-empty, is the verification-regime tag ("bitwise"
 	// or "stat"), logged under mlog.KeyVerify.
 	Verify string
+	// CaptureParams requests a parameter snapshot of the trained model in
+	// RunResult.FinalParams — the training→serving handoff consumed by
+	// internal/serve and cmd/mlperf-serve. It requires a workload that
+	// exposes its parameters (models with a Params method); otherwise
+	// FinalParams stays nil.
+	CaptureParams bool
 }
 
 // RunResult is the outcome of one timed training session.
@@ -64,6 +72,10 @@ type RunResult struct {
 	Err error
 	// QualityCurve holds the per-evaluation quality values.
 	QualityCurve []float64
+	// FinalParams is the end-of-run parameter snapshot (only when
+	// RunConfig.CaptureParams was set and the workload exposes its
+	// parameters) — what a serving run restores.
+	FinalParams *models.Snapshot
 	// Log is the structured training-session log.
 	Log *mlog.Logger
 }
@@ -172,6 +184,15 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 	logger.Simple(ms(runStop), mlog.KeyRunStop, status)
 	logger.Simple(ms(runStop), mlog.KeyStatus, status)
 	res.TimeToTrain = runStop - runStart + penalty
+	// Capture the trained parameters before teardown (snapshotting a
+	// failed run's half-trained state is allowed — the digest tells
+	// consumers exactly what they got).
+	if cfg.CaptureParams {
+		if ps, ok := w.(interface{ Params() []*autograd.Param }); ok {
+			res.FinalParams = models.TakeSnapshot(b.ID, ps.Params())
+			logger.Simple(ms(runStop), mlog.KeySnapshotDigest, res.FinalParams.Digest())
+		}
+	}
 	// Tear down workloads that hold resources beyond the run: the
 	// data-parallel engine parks persistent worker goroutines and pools
 	// buffers in its arena until closed.

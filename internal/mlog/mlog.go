@@ -42,6 +42,21 @@ const (
 	// quantile gate over reduced-precision regimes).
 	KeyNumerics = "numerics_dtype"
 	KeyVerify   = "verification_regime"
+	// Serving-harness keys (internal/serve): the traffic scenario, the
+	// server scenario's target and achieved rates, the R-7 tail-latency
+	// summary in fractional milliseconds, admission-control accounting,
+	// the SLO verdict ("valid"/"invalid"/"untested"), and the parameter
+	// snapshot the served model was restored from.
+	KeyScenario        = "scenario"
+	KeyTargetQPS       = "target_qps"
+	KeyAchievedQPS     = "achieved_qps"
+	KeyLatencyP50      = "latency_p50_ms"
+	KeyLatencyP90      = "latency_p90_ms"
+	KeyLatencyP99      = "latency_p99_ms"
+	KeyQueriesIssued   = "queries_issued"
+	KeyQueriesRejected = "queries_rejected"
+	KeySLOVerdict      = "slo_verdict"
+	KeySnapshotDigest  = "snapshot_digest"
 )
 
 // Event is one structured log record.

@@ -1,0 +1,130 @@
+package models
+
+// Forward-only inference entry points: the serving half of the
+// train-then-serve pipeline. A predictor owns a trained network
+// (restored from a Snapshot) plus a preloaded sample pool, and hands out
+// per-worker inference contexts that run batched forward passes with no
+// backward pass, no optimizer, and — once warm — no heap allocations.
+// The harness side (internal/serve) issues sample *indices*, LoadGen
+// style; the context maps each index to its preloaded input.
+//
+// Predictions are a pure function of (parameters, sample): every output
+// row of the NCF forward pass depends only on its own input row, and the
+// GEMM engine accumulates each output element in strictly ascending-k
+// order regardless of batch shape or worker count — so the prediction for
+// a sample is bit-identical whether it is served alone, inside any batch,
+// or by any number of concurrent contexts.
+
+import (
+	"fmt"
+
+	"repro/internal/autograd"
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// RecPredictor serves a trained NCF model over a preloaded pool of
+// (user, item) query samples. It is safe for concurrent use through
+// per-worker contexts (NewContext): the parameters are read-only after
+// construction and each context owns its tape and staging buffers.
+type RecPredictor struct {
+	Net *NCF
+
+	users []int // pool: users[i] is sample i's user id
+	items []int // pool: items[i] is sample i's item id
+
+	params []*autograd.Param
+	digest string
+}
+
+// RecPoolNegatives is the default number of sampled negative items per
+// user in the prediction sample pool (the held-out positive makes the
+// per-user candidate count RecPoolNegatives+1).
+const RecPoolNegatives = 7
+
+// NewRecPredictor builds a forward-only NCF predictor: a fresh network
+// with the given hyperparameter dimensions, parameters restored from
+// snap, and a sample pool drawn from the dataset's leave-one-out
+// evaluation protocol — for every user, the held-out positive plus
+// negPerUser sampled negatives, flattened into (user, item) pairs. The
+// pool is a pure function of (ds, negPerUser, poolSeed), so trainer and
+// server agree on what sample i means. A nil snap serves the freshly
+// initialized (untrained) network, which benchmarks use.
+func NewRecPredictor(ds *datasets.RecDataset, hp NCFHParams, snap *Snapshot, negPerUser int, poolSeed uint64) (*RecPredictor, error) {
+	if negPerUser <= 0 {
+		negPerUser = RecPoolNegatives
+	}
+	// The network seed matches NewRecommendation's constructor split, so a
+	// nil-snapshot predictor equals an epoch-0 training run.
+	rng := tensor.NewRNG(poolSeed)
+	net := NewNCF(ds.Users, ds.Items, hp.GMFDim, hp.MLPDim, rng.Split(1))
+	p := &RecPredictor{Net: net, params: net.Params()}
+	if snap != nil {
+		if err := snap.Restore(p.params); err != nil {
+			return nil, err
+		}
+		p.digest = snap.Digest()
+	}
+	poolRNG := tensor.NewRNG(poolSeed ^ 0x5E27E)
+	users, candidates := ds.EvalLists(negPerUser, poolRNG)
+	for i, u := range users {
+		for _, it := range candidates[i] {
+			p.users = append(p.users, u)
+			p.items = append(p.items, it)
+		}
+	}
+	if len(p.users) == 0 {
+		return nil, fmt.Errorf("models: empty prediction sample pool")
+	}
+	return p, nil
+}
+
+// Samples returns the preloaded sample-pool size.
+func (p *RecPredictor) Samples() int { return len(p.users) }
+
+// SnapshotDigest returns the digest of the restored snapshot ("" when the
+// predictor serves fresh parameters).
+func (p *RecPredictor) SnapshotDigest() string { return p.digest }
+
+// Params exposes the predictor's parameters (snapshot/digest plumbing).
+func (p *RecPredictor) Params() []*autograd.Param { return p.params }
+
+// NewContext returns a fresh per-worker inference context. Contexts may
+// run concurrently with each other; a single context is not goroutine-safe.
+func (p *RecPredictor) NewContext() *RecInferCtx {
+	return &RecInferCtx{
+		p:    p,
+		tape: autograd.NewTape(),
+		rng:  tensor.NewRNG(0), // eval-mode forward draws no randomness
+	}
+}
+
+// RecInferCtx is one worker's inference context: a persistent tape plus
+// batch staging buffers, reused across calls so a warm fixed-size
+// InferBatch allocates nothing (the property BenchmarkServeSingleStream
+// gates).
+type RecInferCtx struct {
+	p      *RecPredictor
+	tape   *autograd.Tape
+	rng    *tensor.RNG
+	busers []int
+	bitems []int
+}
+
+// InferBatch runs one forward-only pass over the given sample indices and
+// writes one prediction (the interaction logit) per index into out.
+// len(out) must be at least len(samples). Panics on an out-of-range
+// sample index.
+func (c *RecInferCtx) InferBatch(samples []int, out []float64) {
+	c.busers = c.busers[:0]
+	c.bitems = c.bitems[:0]
+	for _, s := range samples {
+		c.busers = append(c.busers, c.p.users[s])
+		c.bitems = append(c.bitems, c.p.items[s])
+	}
+	c.tape.Reset()
+	ctx := nn.NewCtx(c.tape, false, c.rng)
+	logits := c.p.Net.Forward(ctx, c.busers, c.bitems)
+	copy(out, logits.Value.Data[:len(samples)])
+}

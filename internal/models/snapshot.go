@@ -1,0 +1,326 @@
+package models
+
+// Parameter snapshots: the training→serving handoff. A finished training
+// run's parameters are captured into a Snapshot, serialized to a
+// deterministic byte format, and restored into a fresh model for
+// forward-only inference (internal/serve) or a resumed run. The format is
+// fully deterministic — same parameters, same bytes — and self-verifying:
+// a rolling FNV-1a digest over every name, shape, and float64 bit pattern
+// (the trajectory-digest construction of internal/grid) is appended at
+// write time and checked at read time, so a truncated or corrupted
+// snapshot fails loudly instead of silently serving garbage weights.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/autograd"
+)
+
+// snapMagic identifies snapshot files ("MLPSNAP" + format version 1).
+const snapMagic = "MLPSNAP1"
+
+// FNV-1a constants (64-bit), as in internal/grid's trajectory digest.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// SnapParam is one captured parameter: name, shape, and a copy of the
+// float64 values.
+type SnapParam struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// Snapshot is a captured parameter state of one benchmark model.
+type Snapshot struct {
+	// Benchmark is the benchmark ID the parameters belong to.
+	Benchmark string
+	// Params holds the captured parameters in model parameter-list order.
+	Params []SnapParam
+}
+
+// TakeSnapshot deep-copies the current values of params. The copy is
+// decoupled from training: a snapshot taken at convergence stays at
+// convergence even if the model keeps training.
+func TakeSnapshot(benchmark string, params []*autograd.Param) *Snapshot {
+	s := &Snapshot{Benchmark: benchmark, Params: make([]SnapParam, len(params))}
+	for i, p := range params {
+		s.Params[i] = SnapParam{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.Value.Shape...),
+			Data:  append([]float64(nil), p.Value.Data...),
+		}
+	}
+	return s
+}
+
+// digest folds the snapshot's semantic content — benchmark ID, parameter
+// names, shapes, and exact float64 bit patterns, in order — through
+// FNV-1a. Two snapshots share a digest only if they are bit-identical.
+func (s *Snapshot) digest() uint64 {
+	h := fnvOffset
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	mix64 := func(v uint64) {
+		for sh := 0; sh < 64; sh += 8 {
+			mix(byte(v >> sh))
+		}
+	}
+	str := func(t string) {
+		mix64(uint64(len(t)))
+		for i := 0; i < len(t); i++ {
+			mix(t[i])
+		}
+	}
+	str(s.Benchmark)
+	mix64(uint64(len(s.Params)))
+	for _, p := range s.Params {
+		str(p.Name)
+		mix64(uint64(len(p.Shape)))
+		for _, d := range p.Shape {
+			mix64(uint64(d))
+		}
+		mix64(uint64(len(p.Data)))
+		for _, v := range p.Data {
+			mix64(math.Float64bits(v))
+		}
+	}
+	return h
+}
+
+// Digest renders the snapshot's FNV-1a content digest as a fixed-width hex
+// string — the value cross-checked between trainer and server (and logged
+// under mlog.KeySnapshotDigest).
+func (s *Snapshot) Digest() string { return fmt.Sprintf("%016x", s.digest()) }
+
+// NumValues returns the total number of scalar parameter values captured.
+func (s *Snapshot) NumValues() int {
+	n := 0
+	for _, p := range s.Params {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// Save writes the snapshot in the deterministic binary format:
+//
+//	magic "MLPSNAP1"
+//	benchmark: u32 length + bytes
+//	u32 parameter count
+//	per parameter: name (u32+bytes), u32 ndims, u32 dims..., u32 count,
+//	               count × float64 bits (little-endian)
+//	u64 FNV-1a digest of the semantic content (as Digest)
+//
+// All integers are little-endian. The format contains no timestamps or
+// addresses: identical parameters produce identical bytes.
+func (s *Snapshot) Save(w io.Writer) error {
+	bw := &countWriter{w: w}
+	write := func(v any) {
+		if bw.err == nil {
+			bw.err = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
+	str := func(t string) {
+		write(uint32(len(t)))
+		if bw.err == nil {
+			_, bw.err = io.WriteString(bw, t)
+		}
+	}
+	if _, err := io.WriteString(bw, snapMagic); err != nil {
+		return fmt.Errorf("models: snapshot save: %w", err)
+	}
+	str(s.Benchmark)
+	write(uint32(len(s.Params)))
+	for _, p := range s.Params {
+		str(p.Name)
+		write(uint32(len(p.Shape)))
+		for _, d := range p.Shape {
+			write(uint32(d))
+		}
+		write(uint32(len(p.Data)))
+		for _, v := range p.Data {
+			write(math.Float64bits(v))
+		}
+	}
+	write(s.digest())
+	if bw.err != nil {
+		return fmt.Errorf("models: snapshot save: %w", bw.err)
+	}
+	return nil
+}
+
+// countWriter threads one sticky error through the many binary writes.
+type countWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.err = err
+	return n, err
+}
+
+// LoadSnapshot reads a snapshot written by Save, recomputes the content
+// digest, and rejects any mismatch (truncation, corruption, format drift).
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := &stickyReader{r: r}
+	read := func(v any) {
+		if br.err == nil {
+			br.err = binary.Read(br, binary.LittleEndian, v)
+		}
+	}
+	readStr := func() string {
+		var n uint32
+		read(&n)
+		if br.err != nil {
+			return ""
+		}
+		if n > 1<<20 {
+			br.err = fmt.Errorf("string length %d exceeds sanity bound", n)
+			return ""
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			br.err = err
+			return ""
+		}
+		return string(b)
+	}
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("models: snapshot load: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("models: snapshot load: bad magic %q (want %q)", magic, snapMagic)
+	}
+	s := &Snapshot{Benchmark: readStr()}
+	var np uint32
+	read(&np)
+	if br.err == nil && np > 1<<20 {
+		br.err = fmt.Errorf("parameter count %d exceeds sanity bound", np)
+	}
+	for i := 0; br.err == nil && i < int(np); i++ {
+		p := SnapParam{Name: readStr()}
+		var nd uint32
+		read(&nd)
+		if br.err == nil && nd > 16 {
+			br.err = fmt.Errorf("parameter %q has %d dims", p.Name, nd)
+		}
+		for d := 0; br.err == nil && d < int(nd); d++ {
+			var dim uint32
+			read(&dim)
+			p.Shape = append(p.Shape, int(dim))
+		}
+		var cnt uint32
+		read(&cnt)
+		if br.err == nil && cnt > 1<<28 {
+			br.err = fmt.Errorf("parameter %q has %d values", p.Name, cnt)
+		}
+		if br.err == nil {
+			p.Data = make([]float64, cnt)
+			for j := range p.Data {
+				var bits uint64
+				read(&bits)
+				p.Data[j] = math.Float64frombits(bits)
+			}
+		}
+		s.Params = append(s.Params, p)
+	}
+	var want uint64
+	read(&want)
+	if br.err != nil {
+		return nil, fmt.Errorf("models: snapshot load: %w", br.err)
+	}
+	if got := s.digest(); got != want {
+		return nil, fmt.Errorf("models: snapshot load: digest mismatch: content %016x, trailer %016x (corrupted or truncated snapshot)", got, want)
+	}
+	return s, nil
+}
+
+// stickyReader threads one sticky error through the many binary reads.
+type stickyReader struct {
+	r   io.Reader
+	err error
+}
+
+func (s *stickyReader) Read(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	n, err := s.r.Read(p)
+	if err != nil {
+		s.err = err
+	}
+	return n, err
+}
+
+// SaveFile writes the snapshot to a file.
+func (s *Snapshot) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("models: snapshot save: %w", err)
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshotFile reads a snapshot from a file.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("models: snapshot load: %w", err)
+	}
+	defer f.Close()
+	return LoadSnapshot(f)
+}
+
+// Restore copies the snapshot's values into params, matching snapshot
+// entries to parameters positionally and verifying name and shape at each
+// position — a snapshot restores only into the architecture it was taken
+// from. Gradients are untouched.
+func (s *Snapshot) Restore(params []*autograd.Param) error {
+	if len(params) != len(s.Params) {
+		return fmt.Errorf("models: snapshot restore: model has %d parameters, snapshot %d", len(params), len(s.Params))
+	}
+	for i, p := range params {
+		sp := s.Params[i]
+		if p.Name != sp.Name {
+			return fmt.Errorf("models: snapshot restore: parameter %d is %q, snapshot has %q", i, p.Name, sp.Name)
+		}
+		if !shapeEq(p.Value.Shape, sp.Shape) {
+			return fmt.Errorf("models: snapshot restore: parameter %q has shape %v, snapshot %v", p.Name, p.Value.Shape, sp.Shape)
+		}
+		if len(sp.Data) != len(p.Value.Data) {
+			return fmt.Errorf("models: snapshot restore: parameter %q has %d values, snapshot %d", p.Name, len(p.Value.Data), len(sp.Data))
+		}
+		copy(p.Value.Data, sp.Data)
+	}
+	return nil
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/leakcheck"
+)
+
+// fakeCtx is a test InferContext: out[i] = 2*samples[i], with optional
+// fixed per-batch latency and an optional gate that blocks every batch
+// until released (for filling the admission queue deterministically).
+type fakeCtx struct {
+	delay time.Duration
+	gate  chan struct{}
+
+	mu      *sync.Mutex
+	batches *[][]int
+}
+
+func (c *fakeCtx) InferBatch(samples []int, out []float64) {
+	if c.gate != nil {
+		<-c.gate
+	}
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	if c.mu != nil {
+		c.mu.Lock()
+		*c.batches = append(*c.batches, append([]int(nil), samples...))
+		c.mu.Unlock()
+	}
+	for i := range samples {
+		out[i] = 2 * float64(samples[i])
+	}
+}
+
+// fakeBackend wires a fakeCtx template into a Backend; every context shares
+// the same gate and batch log.
+func fakeBackend(samples int, tmpl fakeCtx) Backend {
+	return Backend{
+		Name:    "fake",
+		Samples: samples,
+		NewContext: func() InferContext {
+			c := tmpl
+			return &c
+		},
+	}
+}
+
+func mustDefaults(t *testing.T, cfg Config, b Backend) Config {
+	t.Helper()
+	cfg, err := cfg.withDefaults(b)
+	if err != nil {
+		t.Fatalf("withDefaults: %v", err)
+	}
+	return cfg
+}
+
+// TestBatcherMaxWaitTrickle: under a trickle (gaps longer than MaxWait) the
+// batcher must not hold queries hostage waiting for a full batch — each
+// query ships alone once MaxWait expires.
+func TestBatcherMaxWaitTrickle(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var mu sync.Mutex
+	var batches [][]int
+	b := fakeBackend(16, fakeCtx{mu: &mu, batches: &batches})
+	cfg := mustDefaults(t, Config{
+		Scenario: Offline, Queries: 4,
+		MaxBatch: 8, MaxWait: 3 * time.Millisecond,
+		QueueCap: 32, Workers: 1,
+	}, b)
+	clk := clock.NewReal()
+	cfg.Clock = clk
+	e := newEngine(b, cfg, 4)
+	for i := 0; i < 4; i++ {
+		if err := e.offer(query{id: i, sample: i, issued: clk.Now()}); err != nil {
+			t.Fatalf("offer %d: %v", i, err)
+		}
+		time.Sleep(15 * time.Millisecond) // gap >> MaxWait: next query misses this batch
+	}
+	e.close()
+	if len(batches) != 4 {
+		t.Fatalf("got %d batches %v, want 4 singletons", len(batches), batches)
+	}
+	for i, bt := range batches {
+		if len(bt) != 1 {
+			t.Errorf("batch %d = %v, want singleton (MaxWait must flush partial batches)", i, bt)
+		}
+	}
+	for id := 0; id < 4; id++ {
+		if !e.done[id] {
+			t.Fatalf("query %d not completed", id)
+		}
+		if e.lat[id] < cfg.MaxWait {
+			t.Errorf("query %d latency %v < MaxWait %v: batch flushed before the hold expired with no follow-up traffic",
+				id, e.lat[id], cfg.MaxWait)
+		}
+		if e.pred[id] != 2*float64(id) {
+			t.Errorf("query %d prediction %v, want %v", id, e.pred[id], 2*float64(id))
+		}
+	}
+}
+
+// TestBatcherMaxBatchBurst: a burst larger than MaxBatch must be split into
+// MaxBatch-sized batches — the batcher coalesces but never exceeds the cap.
+func TestBatcherMaxBatchBurst(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var mu sync.Mutex
+	var batches [][]int
+	b := fakeBackend(64, fakeCtx{mu: &mu, batches: &batches})
+	cfg := mustDefaults(t, Config{
+		Scenario: Offline, Queries: 16,
+		MaxBatch: 4, MaxWait: 50 * time.Millisecond,
+		QueueCap: 64, Workers: 1,
+	}, b)
+	clk := clock.NewReal()
+	cfg.Clock = clk
+	e := newEngine(b, cfg, 16)
+	for i := 0; i < 16; i++ {
+		if err := e.offer(query{id: i, sample: i, issued: clk.Now()}); err != nil {
+			t.Fatalf("offer %d: %v", i, err)
+		}
+	}
+	e.close()
+	total := 0
+	for i, bt := range batches {
+		if len(bt) > cfg.MaxBatch {
+			t.Errorf("batch %d has %d queries, exceeds MaxBatch %d", i, len(bt), cfg.MaxBatch)
+		}
+		total += len(bt)
+	}
+	if total != 16 {
+		t.Errorf("batches cover %d queries, want 16", total)
+	}
+	// The burst is fully queued within MaxWait, so every batch fills.
+	if len(batches) != 4 {
+		t.Errorf("got %d batches %v, want 4 full batches of %d", len(batches), batches, cfg.MaxBatch)
+	}
+}
+
+// TestAdmissionRejectsTyped: with the backend wedged, offers beyond the
+// pipeline's capacity must fail fast with a typed *OverloadError — never
+// block. This is the serving analogue of transport.PeerError: overload is
+// a typed outcome, not a hang.
+func TestAdmissionRejectsTyped(t *testing.T) {
+	defer leakcheck.Check(t)()
+	gate := make(chan struct{})
+	b := fakeBackend(64, fakeCtx{gate: gate})
+	cfg := mustDefaults(t, Config{
+		Scenario: Offline, Queries: 32,
+		MaxBatch: 1, MaxWait: -1, // greedy dispatch, no hold
+		QueueCap: 2, Workers: 1,
+	}, b)
+	clk := clock.NewReal()
+	cfg.Clock = clk
+	e := newEngine(b, cfg, 32)
+
+	rejected := make([]bool, 32)
+	nrej := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 32; i++ {
+			err := e.offer(query{id: i, sample: i, issued: clk.Now()})
+			if err == nil {
+				continue
+			}
+			var oe *OverloadError
+			if !errors.As(err, &oe) {
+				t.Errorf("offer %d: error %T %v, want *OverloadError", i, err, err)
+				continue
+			}
+			if oe.QueryID != i || oe.QueueCap != 2 {
+				t.Errorf("offer %d: OverloadError %+v, want QueryID=%d QueueCap=2", i, oe, i)
+			}
+			rejected[i] = true
+			nrej++
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("offer loop blocked: admission control must reject, not block")
+	}
+	if nrej == 0 {
+		t.Fatal("no rejections with a wedged backend and QueueCap=2")
+	}
+	close(gate) // release the backend; close drains every admitted query
+	e.close()
+	for id := 0; id < 32; id++ {
+		if rejected[id] {
+			continue
+		}
+		if !e.done[id] {
+			t.Errorf("admitted query %d not completed after close", id)
+		}
+	}
+	t.Logf("%d of 32 rejected", nrej)
+}
+
+// TestEngineTeardownMidFlight: close with dozens of queries in flight must
+// drain them all and join every goroutine — leakcheck asserts nothing is
+// stranded, mirroring the transport teardown audits.
+func TestEngineTeardownMidFlight(t *testing.T) {
+	defer leakcheck.Check(t)()
+	b := fakeBackend(128, fakeCtx{delay: time.Millisecond})
+	cfg := mustDefaults(t, Config{
+		Scenario: Offline, Queries: 64,
+		MaxBatch: 4, MaxWait: time.Millisecond,
+		QueueCap: 64, Workers: 4,
+	}, b)
+	clk := clock.NewReal()
+	cfg.Clock = clk
+	e := newEngine(b, cfg, 64)
+	for i := 0; i < 64; i++ {
+		e.put(query{id: i, sample: i, issued: clk.Now()})
+	}
+	e.close() // immediately: most queries still queued or mid-inference
+	for id := 0; id < 64; id++ {
+		if !e.done[id] {
+			t.Fatalf("query %d lost in teardown", id)
+		}
+		if e.pred[id] != 2*float64(id) {
+			t.Fatalf("query %d prediction %v, want %v", id, e.pred[id], 2*float64(id))
+		}
+	}
+	e.close() // idempotent
+}

@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// PoissonSchedule returns the n arrival offsets (from run start, ascending)
+// of a Poisson process with the given mean rate in queries per second:
+// inter-arrival gaps are drawn i.i.d. Exponential(qps) by inverse-CDF from
+// an explicit tensor.RNG stream. The schedule is a pure
+// function of (seed, n, qps) — no wall clock, no global RNG, no
+// parallelism — so a replayed trace at a fixed seed issues queries at
+// identical offsets regardless of run, machine load, or GOMAXPROCS; the
+// server scenario's reproducibility rests on it. Panics if n < 0 or
+// qps <= 0.
+func PoissonSchedule(seed uint64, n int, qps float64) []time.Duration {
+	if n < 0 {
+		panic("serve: PoissonSchedule with negative n")
+	}
+	if !(qps > 0) {
+		panic("serve: PoissonSchedule needs qps > 0")
+	}
+	rng := tensor.NewRNG(seed)
+	out := make([]time.Duration, n)
+	t := 0.0
+	for i := range out {
+		// Float64 is uniform on [0,1), so 1-u is in (0,1] and the log is
+		// finite: every gap is a finite positive duration.
+		u := rng.Float64()
+		t += -math.Log(1-u) / qps
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}

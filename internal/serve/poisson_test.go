@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestPoissonScheduleDeterministic: the arrival schedule is a pure function
+// of (seed, n, qps) — identical across calls and across GOMAXPROCS
+// settings, the property the server scenario's replayability rests on.
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	const seed, n, qps = 42, 2048, 750.0
+	a := PoissonSchedule(seed, n, qps)
+	b := PoissonSchedule(seed, n, qps)
+
+	old := runtime.GOMAXPROCS(1)
+	c := PoissonSchedule(seed, n, qps)
+	runtime.GOMAXPROCS(old)
+
+	if len(a) != n {
+		t.Fatalf("schedule length %d, want %d", len(a), n)
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("offset %d differs across calls: %v %v %v", i, a[i], b[i], c[i])
+		}
+	}
+	// A different seed must give a different schedule.
+	d := PoissonSchedule(seed+1, n, qps)
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed 42 and seed 43 produced identical schedules")
+	}
+}
+
+// TestPoissonScheduleShape: offsets are strictly positive, ascending, and
+// the empirical arrival rate matches the target within sampling error.
+func TestPoissonScheduleShape(t *testing.T) {
+	const n, qps = 20000, 1000.0
+	s := PoissonSchedule(7, n, qps)
+	prev := time.Duration(0)
+	for i, d := range s {
+		if d <= prev {
+			t.Fatalf("offset %d = %v not after %v: schedule must be strictly ascending", i, d, prev)
+		}
+		prev = d
+	}
+	// n arrivals over the last offset: rate = n / span. The relative
+	// standard error of the mean gap is 1/sqrt(n) ≈ 0.7%; 5% is generous.
+	rate := float64(n) / s[n-1].Seconds()
+	if math.Abs(rate-qps)/qps > 0.05 {
+		t.Errorf("empirical rate %.1f QPS, want %.1f ±5%%", rate, qps)
+	}
+}
+
+func TestPoissonSchedulePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative n": func() { PoissonSchedule(1, -1, 100) },
+		"zero qps":   func() { PoissonSchedule(1, 10, 0) },
+		"nan qps":    func() { PoissonSchedule(1, 10, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRecorderUsesR7Quantiles: the latency summary is the same R-7
+// (linear-interpolation) quantile math core.StatCheck gates training runs
+// with — checked against core.Quantile directly and against a hand-computed
+// R-7 value.
+func TestRecorderUsesR7Quantiles(t *testing.T) {
+	r := NewRecorder(4)
+	for _, d := range []time.Duration{40 * time.Millisecond, 10 * time.Millisecond, 30 * time.Millisecond, 20 * time.Millisecond} {
+		r.Add(d)
+	}
+	// R-7 median of {10,20,30,40}ms: h = (4-1)*0.5 = 1.5 → 25ms.
+	if got, want := r.Quantile(0.5), 25*time.Millisecond; got != want {
+		t.Errorf("R-7 median %v, want %v", got, want)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := time.Duration(core.Quantile([]float64{
+			float64(40 * time.Millisecond), float64(10 * time.Millisecond),
+			float64(30 * time.Millisecond), float64(20 * time.Millisecond)}, q))
+		if got := r.Quantile(q); got != want {
+			t.Errorf("q=%g: recorder %v, core.Quantile %v", q, got, want)
+		}
+	}
+	if NewRecorder(0).Quantile(0.9) != 0 {
+		t.Error("empty recorder quantile should be 0")
+	}
+}

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Recorder accumulates per-query latencies and reduces them to R-7
+// (linear-interpolation) quantiles — the same quantile definition
+// core.StatCheck gates epochs-to-quality distributions with (§3.3), so
+// training convergence and serving tail latency are summarized by one
+// piece of math.
+type Recorder struct {
+	lat []time.Duration
+	ns  []float64 // scratch for quantile math, reused across calls
+}
+
+// NewRecorder returns a recorder preallocated for n latencies; Add within
+// capacity does not allocate.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{lat: make([]time.Duration, 0, n), ns: make([]float64, 0, n)}
+}
+
+// Add records one query latency.
+func (r *Recorder) Add(d time.Duration) { r.lat = append(r.lat, d) }
+
+// Count returns the number of recorded latencies.
+func (r *Recorder) Count() int { return len(r.lat) }
+
+// Quantile returns the q-quantile of the recorded latencies under the R-7
+// definition (core.Quantile), or 0 when nothing was recorded.
+func (r *Recorder) Quantile(q float64) time.Duration {
+	if len(r.lat) == 0 {
+		return 0
+	}
+	r.ns = r.ns[:0]
+	for _, d := range r.lat {
+		r.ns = append(r.ns, float64(d))
+	}
+	return time.Duration(core.Quantile(r.ns, q))
+}
+
+// Percentiles returns the p50/p90/p99 latency summary.
+func (r *Recorder) Percentiles() (p50, p90, p99 time.Duration) {
+	return r.Quantile(0.50), r.Quantile(0.90), r.Quantile(0.99)
+}

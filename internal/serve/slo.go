@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLOResult is the run's latency-bound verdict: the LoadGen-style
+// valid/invalid gate a serving submission would be scored under. A run is
+// valid only if every issued query was admitted (no overload rejections)
+// and the gated latency quantile lands at or under the bound.
+type SLOResult struct {
+	// Bound is the latency budget the run was gated on.
+	Bound time.Duration
+	// Percentile is the gated quantile (e.g. 0.99).
+	Percentile float64
+	// Observed is the measured latency at the gated quantile.
+	Observed time.Duration
+	// Rejected counts admission-control drops; any rejection invalidates
+	// the run (an overloaded server does not get SLO credit for the
+	// queries it shed).
+	Rejected int
+	// Valid is the verdict.
+	Valid bool
+	// Reason explains an invalid verdict ("" when valid).
+	Reason string
+}
+
+// Verdict renders the verdict as the MLLOG value ("valid"/"invalid").
+func (s *SLOResult) Verdict() string {
+	if s.Valid {
+		return "valid"
+	}
+	return "invalid"
+}
+
+// String renders the verdict for reports.
+func (s *SLOResult) String() string {
+	if s.Valid {
+		return fmt.Sprintf("SLO valid (p%g %s <= %s)", s.Percentile*100, s.Observed.Round(time.Microsecond), s.Bound)
+	}
+	return fmt.Sprintf("SLO invalid: %s", s.Reason)
+}
+
+// checkSLO computes the run's verdict from the recorded latencies.
+func checkSLO(cfg Config, rec *Recorder, rep *Report) *SLOResult {
+	res := &SLOResult{Bound: cfg.SLO, Percentile: cfg.Percentile, Rejected: rep.Rejected}
+	if rec.Count() > 0 {
+		res.Observed = rec.Quantile(cfg.Percentile)
+	}
+	switch {
+	case rep.Rejected > 0:
+		res.Reason = fmt.Sprintf("%d of %d queries rejected by admission control (queue overload)", rep.Rejected, rep.Queries)
+	case rec.Count() == 0:
+		res.Reason = "no queries completed"
+	case res.Observed > res.Bound:
+		res.Reason = fmt.Sprintf("p%g latency %s exceeds bound %s", res.Percentile*100, res.Observed.Round(time.Microsecond), res.Bound)
+	default:
+		res.Valid = true
+	}
+	return res
+}
+
+// FindMaxQPS binary-searches the highest Poisson arrival rate in
+// [loQPS, hiQPS] that the backend sustains with a valid SLO verdict under
+// the server scenario, probing `probes` rates (each probe is one full
+// serving run of cfg.Queries queries at a distinct seed-stable schedule).
+// It returns the best sustained rate (0 if even loQPS is invalid) and the
+// probe reports in probe order. cfg must carry a positive SLO bound.
+func FindMaxQPS(b Backend, cfg Config, loQPS, hiQPS float64, probes int) (float64, []Report, error) {
+	if cfg.SLO <= 0 {
+		return 0, nil, fmt.Errorf("serve: FindMaxQPS needs a positive SLO bound")
+	}
+	if !(loQPS > 0) || !(hiQPS > loQPS) {
+		return 0, nil, fmt.Errorf("serve: FindMaxQPS needs 0 < loQPS < hiQPS, have [%v, %v]", loQPS, hiQPS)
+	}
+	if probes <= 0 {
+		probes = 8
+	}
+	cfg.Scenario = Server
+	var reports []Report
+	probe := func(qps float64) (bool, error) {
+		cfg.TargetQPS = qps
+		rep, err := Run(b, cfg)
+		if err != nil {
+			return false, err
+		}
+		reports = append(reports, rep)
+		return rep.SLO != nil && rep.SLO.Valid, nil
+	}
+	// Probe the floor first: if loQPS itself is unsustainable the answer
+	// is 0 and bisection has nothing to refine.
+	ok, err := probe(loQPS)
+	if err != nil {
+		return 0, reports, err
+	}
+	if !ok {
+		return 0, reports, nil
+	}
+	lo, hi := loQPS, hiQPS
+	for i := 1; i < probes; i++ {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, reports, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, reports, nil
+}
