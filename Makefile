@@ -2,13 +2,13 @@ GO ?= go
 
 BENCH_SMOKE_OUT ?= bench-smoke.out
 
-.PHONY: all ci check fmt vet staticcheck lint build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32 multiproc-smoke serve-smoke
+.PHONY: all ci check fmt vet staticcheck lint build test test-short race bench bench-smoke bench-kernels bench-gemm pp-smoke smoke-f32 multiproc-smoke serve-smoke chaos-smoke
 
 all: check
 
 # Everything CI runs, in the same order — reproduce any CI failure locally
 # with exactly `make ci` (the workflow jobs call these same targets).
-ci: check race multiproc-smoke bench-smoke smoke-f32 serve-smoke
+ci: check race multiproc-smoke chaos-smoke bench-smoke smoke-f32 serve-smoke
 
 # The fast gate: formatting, static checks (incl. the repo's own analyzer
 # suite), a full build, and the fast tests.
@@ -61,6 +61,17 @@ race:
 # so a transport hang fails fast instead of stalling CI.
 multiproc-smoke:
 	$(GO) test -race -run 'MultiProc' -timeout 300s -v ./internal/grid/
+
+# Fault-tolerance smoke under the race detector: a multi-process loopback
+# grid loses a worker to a seeded chaos-injected crash (internal/chaos),
+# the supervisor respawns it from the newest complete checkpoint set
+# (internal/ckpt), and the completed run must report trajectory digests
+# bit-identical to a never-killed reference — plus the checkpoint/resume
+# and crash-boundary sweeps in ckpt, core, dist, and pipeline.
+chaos-smoke:
+	$(GO) test -race -run 'TestSupervisedChaos|TestMultiProcResume' -timeout 300s -v ./internal/grid/
+	$(GO) test -race -timeout 300s ./internal/ckpt/ ./internal/chaos/
+	$(GO) test -race -run 'Resume|Checkpoint|Crash' -timeout 300s ./internal/core/ ./internal/dist/ ./internal/pipeline/
 
 # Every table/figure benchmark plus the kernel microbenchmarks.
 bench:

@@ -12,6 +12,9 @@
 //	mlperf-worker -benchmark image_classification -dp 2 -pp 2 -steps 5
 //	mlperf-worker -benchmark translation_transformer -pp 2 -steps 5 -pp-schedule 1f1b
 //	mlperf-worker -benchmark recommendation -dp 2 -steps 20 -straggler-timeout 5s
+//	mlperf-worker -benchmark recommendation -dp 2 -steps 20 -ckpt-dir /tmp/ckpt -ckpt-every 5
+//	mlperf-worker -benchmark recommendation -dp 2 -steps 20 -ckpt-dir /tmp/ckpt -ckpt-every 5 \
+//	    -supervise -chaos-seed 7 -chaos-crashes 1   # seeded crash + supervised restart
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/grid"
+	"repro/internal/mlog"
 	"repro/internal/transport"
 )
 
@@ -53,6 +57,13 @@ func launch() error {
 		steps     = flag.Int("steps", 10, "optimizer steps per worker")
 		seed      = flag.Uint64("seed", 1, "random seed shared by every process")
 		strag     = flag.Duration("straggler-timeout", 0, "bound on every mesh receive; expiry fails the run with a typed straggler error instead of hanging (0 = unbounded)")
+		ckptDir   = flag.String("ckpt-dir", "", "directory for sealed per-rank training checkpoints (internal/ckpt); empty disables checkpointing")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint cadence in optimizer steps (with -ckpt-dir)")
+		resume    = flag.Bool("resume", false, "resume from the newest complete checkpoint set in -ckpt-dir (an empty directory degrades to a fresh run)")
+		supervise = flag.Bool("supervise", false, "run under the elastic supervisor: a failed grid is respawned from the newest complete checkpoint set (requires -ckpt-dir and -ckpt-every)")
+		maxRest   = flag.Int("max-restarts", 3, "restart budget for -supervise")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "seed for the deterministic fault plan (with -chaos-crashes)")
+		chaosN    = flag.Int("chaos-crashes", 0, "inject one seeded worker crash into each of the first N generations (requires -ckpt-every; pair with -supervise to watch the run recover)")
 	)
 	flag.Parse()
 
@@ -62,6 +73,8 @@ func launch() error {
 		Microshards: *dpShards, Microbatches: *ppMicro, Schedule: *ppSched,
 		Chunks: *chunks, GlobalBatch: *batch, Steps: *steps, Seed: *seed,
 		StragglerMS: strag.Milliseconds(),
+		CkptDir:     *ckptDir, CkptEvery: *ckptEvery, Resume: *resume,
+		ChaosSeed: *chaosSeed, ChaosCrashes: *chaosN,
 	}
 	exe, err := os.Executable()
 	if err != nil {
@@ -69,6 +82,25 @@ func launch() error {
 	}
 	fmt.Printf("launching %d×%d grid (%d processes) for %s/%s, %d steps\n",
 		*dp, *pp, spec.World(), *benchmark, *version, *steps)
+
+	if *supervise {
+		res, err := grid.Supervise(spec, grid.SuperviseOptions{
+			Start: grid.StartOptions{
+				Command: []string{exe},
+				Stdout:  os.Stdout,
+				Stderr:  os.Stderr,
+			},
+			MaxRestarts: *maxRest,
+			Log:         mlog.NewLogger(os.Stdout),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("supervised run complete after %d restart(s)\n", res.Restarts)
+		report(res.Results, spec)
+		return calibrate(res.Results, spec)
+	}
+
 	c, err := grid.Start(spec, grid.StartOptions{
 		Command: []string{exe},
 		Stdout:  os.Stdout,

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +44,9 @@ func main() {
 		ppStages  = flag.Int("pp-stages", 0, "pipeline-parallel stages: train on the internal/pipeline engine with the model split into S cost-balanced stages (0 = no pipeline; supported: image_classification, translation_transformer). Combine with -dp for hybrid DP×PP")
 		ppSched   = flag.String("pp-schedule", "gpipe", "microbatch schedule for -pp-stages: gpipe (fill-drain) or 1f1b. Never affects results, only activation liveness")
 		ppMicro   = flag.Int("pp-microbatches", 0, "microbatches per global batch for -pp-stages (0 = auto). Runs sharing seed, batch, and microbatches are bit-identical across every (stages, schedule, workers) combination")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for sealed training checkpoints (internal/ckpt); run i of a multi-run set uses the run<i> subdirectory. Empty disables checkpointing")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in epochs (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "resume each run from the newest valid checkpoint in its -checkpoint-dir subdirectory (an empty directory degrades to a fresh run)")
 		dtypeF    = flag.String("dtype", "f64", "training compute regime: f64 (the bitwise-verified reference), f32 (reduced compute; supported: image_classification, recommendation), or bf16 (f32 storage with bf16 rounding, master weights, dynamic loss scaling)")
 		verifyF   = flag.String("verify", "off", "run-set verification: off; auto (bitwise for -dtype f64, stat otherwise); bitwise (re-execute run 0 and require identical epochs and quality — the fp64 determinism contract); stat (train a paired fp64 reference run set and gate this regime's epochs-to-target quantiles per §3.3; needs -runs >= 3)")
 	)
@@ -87,6 +91,14 @@ func main() {
 	}
 	if *ppStages > 0 && num.Mixed {
 		fmt.Fprintln(os.Stderr, "-dtype bf16 (mixed precision) is not supported with -pp-stages: the master-weight/loss-scaling step bracket does not decompose across stage shards; use -dtype f32, or bf16 with -dp/serial")
+		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *ckptDir != "" && *par {
+		fmt.Fprintln(os.Stderr, "-checkpoint-dir is not supported with -parallel (the buffered run set has no per-run checkpoint plumbing); drop -parallel")
 		os.Exit(2)
 	}
 
@@ -153,10 +165,25 @@ func main() {
 			for i := 0; i < *runs; i++ {
 				cfg := core.RunConfig{Seed: *seed + uint64(i), MaxEpochs: *maxEpochs,
 					Numerics: tag, Verify: verifyTag}
+				if *ckptDir != "" {
+					cfg.Checkpoint = core.CheckpointConfig{
+						Dir:   filepath.Join(*ckptDir, fmt.Sprintf("run%d", i)),
+						Every: *ckptEvery,
+					}
+				}
 				if *logs {
 					cfg.LogWriter = os.Stdout
 				}
-				r := core.Run(b, cfg)
+				var r core.RunResult
+				if *resume {
+					var err error
+					if r, err = core.Resume(b, cfg); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+				} else {
+					r = core.Run(b, cfg)
+				}
 				fmt.Println(r.String())
 				if err := rs.AddRun(r); err != nil {
 					fmt.Fprintln(os.Stderr, err)

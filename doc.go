@@ -65,9 +65,26 @@
 //	internal/grid       — multi-process DP×PP training: one OS process per
 //	                      grid cell (rank k·S+s = replica k, stage s),
 //	                      launcher/worker harness (cmd/mlperf-worker),
-//	                      FNV-1a parameter-trajectory digests, and the
+//	                      FNV-1a parameter-trajectory digests, the
 //	                      in-process Reference run the TCP grid must
-//	                      reproduce bit-for-bit
+//	                      reproduce bit-for-bit, and the elastic
+//	                      supervisor (Supervise): a failed generation is
+//	                      respawned from the newest complete checkpoint
+//	                      set and still finishes digest-identical to a
+//	                      never-killed run
+//	internal/ckpt       — sealed training checkpoints: the full TrainState
+//	                      (params, optimizer slots, loss scale, RNG
+//	                      streams, loader cursor, step/epoch) in one
+//	                      FNV-1a digest-verified file, written atomically
+//	                      (temp+rename) with bounded retention; Latest/
+//	                      LatestComplete pick the newest valid set, so a
+//	                      torn or corrupt file can never be resumed from
+//	internal/chaos      — seeded fault injection: a FaultPlan is a pure
+//	                      function of (seed, config) — worker crashes per
+//	                      restart generation, wire-level faults (frame
+//	                      corruption the CRC must catch, drops, delays)
+//	                      via transport's WrapConn hook, and slow-inference
+//	                      wrapping for serve backends
 //	internal/serve      — LoadGen-style serving harness over trained
 //	                      models: four traffic scenarios (single-stream,
 //	                      multi-stream, offline, Poisson server), a dynamic

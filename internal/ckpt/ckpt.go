@@ -1,0 +1,542 @@
+// Package ckpt implements full training checkpoints: the durable,
+// digest-sealed form of a models.TrainState. Where models.Snapshot
+// captures parameters alone (the training→serving handoff), a checkpoint
+// additionally carries optimizer state (momenta and the ApplySchedule
+// position), the mixed-precision trainer's loss-scale state, auxiliary
+// RNG stream positions, the loader's permutation cursor, and the
+// step/epoch counters — everything a resumed run needs to continue
+// bit-identically to the uninterrupted run.
+//
+// The byte format is deterministic (same state, same bytes; no
+// timestamps or addresses) and self-verifying: a trailing FNV-1a digest
+// over every preceding byte is written at save time and checked BEFORE
+// parsing at load time, so a truncated or corrupted checkpoint fails
+// loudly — and cannot drive allocations from unverified length fields.
+//
+// Files are written atomically (temp file + rename within the directory),
+// so a crash mid-write leaves at worst a stale temp file, never a
+// half-written checkpoint under a valid name; Writer retains the newest
+// Keep checkpoints per rank and deletes older ones. Latest and
+// LatestComplete recover the resume point, skipping any file that fails
+// its digest.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/opt"
+	"repro/internal/precision"
+	"repro/internal/tensor"
+)
+
+// magic identifies checkpoint files ("MLPCKPT" + format version 1).
+const magic = "MLPCKPT1"
+
+// FNV-1a constants (64-bit), the digest family shared with
+// models.Snapshot and internal/grid.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Stateful is implemented by workloads and engines whose full training
+// state can round-trip through a checkpoint. internal/core's runner
+// detects it by type assertion (like the Err/Params/Close capabilities);
+// models.Recommendation and the dist/pipeline engines implement it.
+type Stateful interface {
+	CaptureTrainState() *models.TrainState
+	RestoreTrainState(*models.TrainState) error
+}
+
+// hashWriter forwards to w while folding every byte through FNV-1a, and
+// threads one sticky error through the many binary writes.
+type hashWriter struct {
+	w   io.Writer
+	h   uint64
+	err error
+}
+
+func (hw *hashWriter) Write(p []byte) (int, error) {
+	if hw.err != nil {
+		return 0, hw.err
+	}
+	for _, b := range p {
+		hw.h ^= uint64(b)
+		hw.h *= fnvPrime
+	}
+	n, err := hw.w.Write(p)
+	hw.err = err
+	return n, err
+}
+
+// Save writes st in the checkpoint format and returns the content digest
+// (the hex form of the trailing seal). Identical states produce identical
+// bytes and digests.
+func Save(w io.Writer, st *models.TrainState) (string, error) {
+	if st == nil || st.Params == nil {
+		return "", fmt.Errorf("ckpt: save of nil state or state without parameters")
+	}
+	hw := &hashWriter{w: w, h: fnvOffset}
+	put := func(v any) {
+		if hw.err == nil {
+			hw.err = binary.Write(hw, binary.LittleEndian, v)
+		}
+	}
+	str := func(t string) {
+		put(uint32(len(t)))
+		if hw.err == nil {
+			_, hw.err = io.WriteString(hw, t)
+		}
+	}
+	floats := func(f []float64) {
+		put(uint32(len(f)))
+		for _, v := range f {
+			put(math.Float64bits(v))
+		}
+	}
+	rng := func(s tensor.RNGState) {
+		put(s.State)
+		put(s.Inc)
+		put(math.Float64bits(s.Spare))
+		if s.HasSpare {
+			put(uint8(1))
+		} else {
+			put(uint8(0))
+		}
+	}
+
+	if _, err := io.WriteString(hw, magic); err != nil {
+		return "", fmt.Errorf("ckpt: save: %w", err)
+	}
+	put(uint64(st.Step))
+	put(uint64(st.Epoch))
+
+	// Parameters: the embedded snapshot, byte-for-byte the Snapshot format
+	// (it carries its own inner digest; the outer seal covers it too).
+	if hw.err == nil {
+		hw.err = st.Params.Save(hw)
+	}
+
+	// Optimizer states.
+	put(uint32(len(st.Opts)))
+	for _, o := range st.Opts {
+		str(o.Kind)
+		put(math.Float64bits(o.LR))
+		put(uint64(o.T))
+		put(uint32(len(o.Slots)))
+		for _, s := range o.Slots {
+			floats(s)
+		}
+	}
+
+	// Mixed-precision position.
+	if st.MP != nil {
+		put(uint8(1))
+		put(math.Float64bits(st.MP.Scale))
+		put(uint64(st.MP.Good))
+		put(st.MP.Steps)
+		put(st.MP.Skipped)
+		put(st.MP.Growths)
+		put(st.MP.Backoffs)
+	} else {
+		put(uint8(0))
+	}
+
+	// Loader position.
+	if st.Loader != nil {
+		put(uint8(1))
+		put(uint32(len(st.Loader.Order)))
+		for _, i := range st.Loader.Order {
+			put(uint32(i))
+		}
+		put(uint32(st.Loader.Pos))
+		put(uint32(st.Loader.Epoch))
+		rng(st.Loader.RNG)
+	} else {
+		put(uint8(0))
+	}
+
+	// Auxiliary RNG streams.
+	put(uint32(len(st.RNGs)))
+	for _, e := range st.RNGs {
+		str(e.Label)
+		rng(e.State)
+	}
+
+	// Meta entries (kept sorted by SetMeta; sort defensively so the bytes
+	// are deterministic regardless of how the slice was assembled).
+	meta := append([]models.MetaEntry(nil), st.Meta...)
+	sort.Slice(meta, func(i, j int) bool { return meta[i].Key < meta[j].Key })
+	put(uint32(len(meta)))
+	for _, m := range meta {
+		str(m.Key)
+		str(m.Value)
+	}
+
+	digest := fmt.Sprintf("%016x", hw.h)
+	put(hw.h) // trailing seal (not folded into itself: put writes through hw but digest was read first)
+	if hw.err != nil {
+		return "", fmt.Errorf("ckpt: save: %w", hw.err)
+	}
+	return digest, nil
+}
+
+// Digest returns the content digest Save would seal st with, without
+// writing anywhere.
+func Digest(st *models.TrainState) (string, error) {
+	return Save(io.Discard, st)
+}
+
+// cursor parses a digest-verified byte buffer. Every length field is
+// bounded by the remaining verified bytes, so no read can allocate more
+// than the input backs.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.b) {
+		c.fail("ckpt: truncated checkpoint (want %d bytes, have %d)", n, len(c.b))
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) str() string {
+	n := int(c.u32())
+	b := c.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (c *cursor) floats() []float64 {
+	n := int(c.u32())
+	b := c.take(8 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func (c *cursor) rng() tensor.RNGState {
+	st := tensor.RNGState{State: c.u64(), Inc: c.u64(), Spare: c.f64()}
+	st.HasSpare = c.u8() != 0
+	return st
+}
+
+// Load reads a checkpoint written by Save. The whole input is read and
+// its trailing seal verified before any content is parsed.
+func Load(r io.Reader) (*models.TrainState, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: load: %w", err)
+	}
+	if len(raw) < len(magic)+8 {
+		return nil, fmt.Errorf("ckpt: load: %d bytes is no checkpoint", len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("ckpt: load: bad magic %q (want %q)", raw[:len(magic)], magic)
+	}
+	body, trailer := raw[:len(raw)-8], raw[len(raw)-8:]
+	h := fnvOffset
+	for _, b := range body {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	if want := binary.LittleEndian.Uint64(trailer); h != want {
+		return nil, fmt.Errorf("ckpt: load: digest mismatch: content %016x, trailer %016x (corrupted or truncated checkpoint)", h, want)
+	}
+
+	c := &cursor{b: body[len(magic):]}
+	st := &models.TrainState{Step: int(c.u64()), Epoch: int(c.u64())}
+
+	// Parameters: delegate to the snapshot reader over the remaining bytes,
+	// tracking how much it consumed.
+	if c.err == nil {
+		before := len(c.b)
+		cr := &countingReader{b: c.b}
+		snap, err := models.LoadSnapshot(cr)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: load: embedded snapshot: %w", err)
+		}
+		st.Params = snap
+		c.b = c.b[before-len(cr.b):]
+	}
+
+	nOpt := int(c.u32())
+	for i := 0; c.err == nil && i < nOpt; i++ {
+		o := opt.State{Kind: c.str(), LR: c.f64(), T: int(c.u64())}
+		nSlots := int(c.u32())
+		for s := 0; c.err == nil && s < nSlots; s++ {
+			o.Slots = append(o.Slots, c.floats())
+		}
+		st.Opts = append(st.Opts, o)
+	}
+
+	if c.u8() != 0 {
+		mp := &precision.MPState{Scale: c.f64(), Good: int(c.u64())}
+		mp.Steps = c.u64()
+		mp.Skipped = c.u64()
+		mp.Growths = c.u64()
+		mp.Backoffs = c.u64()
+		st.MP = mp
+	}
+
+	if c.u8() != 0 {
+		ls := &data.LoaderState{}
+		nOrd := int(c.u32())
+		if b := c.take(4 * nOrd); b != nil {
+			ls.Order = make([]int, nOrd)
+			for i := range ls.Order {
+				ls.Order[i] = int(binary.LittleEndian.Uint32(b[4*i:]))
+			}
+		}
+		ls.Pos = int(c.u32())
+		ls.Epoch = int(c.u32())
+		ls.RNG = c.rng()
+		st.Loader = ls
+	}
+
+	nRNG := int(c.u32())
+	for i := 0; c.err == nil && i < nRNG; i++ {
+		st.RNGs = append(st.RNGs, models.RNGEntry{Label: c.str(), State: c.rng()})
+	}
+
+	nMeta := int(c.u32())
+	for i := 0; c.err == nil && i < nMeta; i++ {
+		st.Meta = append(st.Meta, models.MetaEntry{Key: c.str(), Value: c.str()})
+	}
+
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(c.b) != 0 {
+		return nil, fmt.Errorf("ckpt: load: %d trailing bytes after checkpoint content", len(c.b))
+	}
+	return st, nil
+}
+
+// countingReader adapts a byte slice to io.Reader while exposing how much
+// remains (models.LoadSnapshot consumes an unknown prefix).
+type countingReader struct{ b []byte }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	if len(c.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, c.b)
+	c.b = c.b[n:]
+	return n, nil
+}
+
+// fileName is the canonical checkpoint file name for (step, rank).
+func fileName(step, rank int) string {
+	return fmt.Sprintf("ckpt-%09d-r%03d.mlpckpt", step, rank)
+}
+
+// parseName inverts fileName.
+func parseName(name string) (step, rank int, ok bool) {
+	var s, r int
+	if n, err := fmt.Sscanf(name, "ckpt-%d-r%d.mlpckpt", &s, &r); n == 2 && err == nil {
+		return s, r, true
+	}
+	return 0, 0, false
+}
+
+// Writer manages a checkpoint directory: atomic writes plus retention.
+type Writer struct {
+	dir  string
+	keep int
+}
+
+// DefaultKeep is the retention depth a zero keep selects.
+const DefaultKeep = 3
+
+// NewWriter prepares a checkpoint directory (created if absent). keep is
+// the number of newest checkpoints retained per rank (<= 0 selects
+// DefaultKeep).
+func NewWriter(dir string, keep int) (*Writer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckpt: empty checkpoint directory")
+	}
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &Writer{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the managed directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Write persists st for rank atomically — the bytes land in a temp file
+// that is renamed into place, so a crash mid-write never leaves a
+// half-written checkpoint under a valid name — then applies retention for
+// that rank. Returns the final path and the sealed content digest.
+func (w *Writer) Write(st *models.TrainState, rank int) (path, digest string, err error) {
+	final := filepath.Join(w.dir, fileName(st.Step, rank))
+	tmp, err := os.CreateTemp(w.dir, fileName(st.Step, rank)+".tmp-*")
+	if err != nil {
+		return "", "", fmt.Errorf("ckpt: %w", err)
+	}
+	digest, err = Save(tmp, st)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return "", "", fmt.Errorf("ckpt: write %s: %w", final, err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return "", "", fmt.Errorf("ckpt: %w", err)
+	}
+	w.retain(rank)
+	return final, digest, nil
+}
+
+// retain deletes rank's checkpoints beyond the newest keep. Best-effort:
+// retention failures never fail the write that triggered them.
+func (w *Writer) retain(rank int) {
+	steps, err := rankSteps(w.dir, rank)
+	if err != nil {
+		return
+	}
+	for _, s := range steps[:max(0, len(steps)-w.keep)] {
+		os.Remove(filepath.Join(w.dir, fileName(s, rank)))
+	}
+}
+
+// rankSteps lists the steps with a checkpoint file for rank, ascending.
+func rankSteps(dir string, rank int) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var steps []int
+	for _, e := range ents {
+		if s, r, ok := parseName(e.Name()); ok && r == rank {
+			steps = append(steps, s)
+		}
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// LoadAt loads the checkpoint for (step, rank) from dir.
+func LoadAt(dir string, step, rank int) (*models.TrainState, error) {
+	f, err := os.Open(filepath.Join(dir, fileName(step, rank)))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Latest returns rank's newest valid checkpoint in dir, or (nil, "", nil)
+// when none exists. Files that fail their digest are skipped (a crash may
+// have raced retention or corrupted the newest file; the one before it is
+// still a correct resume point).
+func Latest(dir string, rank int) (*models.TrainState, string, error) {
+	steps, err := rankSteps(dir, rank)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		st, err := LoadAt(dir, steps[i], rank)
+		if err == nil {
+			return st, filepath.Join(dir, fileName(steps[i], rank)), nil
+		}
+	}
+	return nil, "", nil
+}
+
+// LatestComplete returns the highest step at which EVERY rank of a
+// world-sized grid has a valid checkpoint in dir — the grid supervisor's
+// resume point, where all ranks restart in lockstep. ok is false when no
+// complete, valid set exists. Determinism: the scan reads a quiescent
+// directory (the failed generation's processes are dead before the
+// supervisor respawns), so every worker computes the same step.
+func LatestComplete(dir string, world int) (step int, ok bool, err error) {
+	steps, err := rankSteps(dir, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		s := steps[i]
+		complete := true
+		for r := 0; r < world && complete; r++ {
+			if _, err := LoadAt(dir, s, r); err != nil {
+				complete = false
+			}
+		}
+		if complete {
+			return s, true, nil
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,231 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/opt"
+	"repro/internal/precision"
+	"repro/internal/tensor"
+)
+
+// sampleState builds a representative TrainState exercising every section.
+func sampleState() *models.TrainState {
+	st := &models.TrainState{
+		Step:  120,
+		Epoch: 3,
+		Params: &models.Snapshot{
+			Benchmark: "recommendation",
+			Params: []models.SnapParam{
+				{Name: "w", Shape: []int{2, 2}, Data: []float64{1, -2.5, 3.25, 0}},
+				{Name: "b", Shape: []int{2}, Data: []float64{0.5, -0.125}},
+			},
+		},
+		Opts: []opt.State{
+			{Kind: "adam", LR: 0.002, T: 120, Slots: [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}, {0.1}, {0.2}}},
+		},
+		MP:     &precision.MPState{Scale: 1 << 12, Good: 17, Steps: 100, Skipped: 3, Growths: 2, Backoffs: 1},
+		Loader: &data.LoaderState{Order: []int{3, 1, 0, 2}, Pos: 2, Epoch: 3, RNG: tensor.RNGState{State: 42, Inc: 7}},
+		RNGs: []models.RNGEntry{
+			{Label: "ncf_negative_sampling", State: tensor.RNGState{State: 99, Inc: 13, Spare: 0.5, HasSpare: true}},
+		},
+	}
+	st.SetMeta("digest_h", "deadbeef")
+	st.SetMeta("digest_n", "120")
+	return st
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := sampleState()
+	var buf bytes.Buffer
+	dig, err := Save(&buf, st)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if len(dig) != 16 {
+		t.Fatalf("digest %q is not 16 hex chars", dig)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\nsaved  %+v\nloaded %+v", st, got)
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	da, err := Save(&a, sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Save(&b, sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) || da != db {
+		t.Fatalf("identical states produced different bytes or digests (%s vs %s)", da, db)
+	}
+	if d, err := Digest(sampleState()); err != nil || d != da {
+		t.Fatalf("Digest = %s, %v; want %s", d, err, da)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Save(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one byte in the middle: the trailing seal must catch it before
+	// any content is trusted.
+	for _, off := range []int{len(magic) + 1, len(raw) / 2, len(raw) - 9} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Errorf("Load accepted checkpoint with byte %d flipped", off)
+		}
+	}
+
+	// Truncation at any length must fail, never hang or over-allocate.
+	for _, n := range []int{0, 4, len(magic), len(raw) / 3, len(raw) - 1} {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("Load accepted %d-byte truncation of %d-byte checkpoint", n, len(raw))
+		}
+	}
+
+	// Trailing garbage after a valid checkpoint changes the digest.
+	if _, err := Load(bytes.NewReader(append(append([]byte(nil), raw...), 0xAA))); err == nil {
+		t.Error("Load accepted checkpoint with trailing garbage")
+	}
+}
+
+func TestWriterAtomicAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sampleState()
+	var lastPath string
+	for _, step := range []int{10, 20, 30, 40} {
+		st.Step = step
+		p, dig, err := w.Write(st, 0)
+		if err != nil {
+			t.Fatalf("Write step %d: %v", step, err)
+		}
+		if dig == "" {
+			t.Fatalf("Write step %d returned empty digest", step)
+		}
+		lastPath = p
+	}
+	steps, err := rankSteps(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(steps, []int{30, 40}) {
+		t.Fatalf("retention kept steps %v, want [30 40]", steps)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".mlpckpt" {
+			t.Fatalf("stray file %q left in checkpoint dir", e.Name())
+		}
+	}
+	if lastPath != filepath.Join(dir, fileName(40, 0)) {
+		t.Fatalf("last write landed at %q", lastPath)
+	}
+}
+
+func TestLatestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sampleState()
+	st.Step = 10
+	if _, _, err := w.Write(st, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.Step = 20
+	p20, _, err := w.Write(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint: Latest must fall back to step 10.
+	raw, err := os.ReadFile(p20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(p20, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, path, err := Latest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Step != 10 {
+		t.Fatalf("Latest returned %+v (path %q), want the valid step-10 checkpoint", got, path)
+	}
+
+	// Empty / missing directories are a clean "nothing to resume".
+	if got, _, err := Latest(t.TempDir(), 0); err != nil || got != nil {
+		t.Fatalf("Latest on empty dir = %v, %v", got, err)
+	}
+	if got, _, err := Latest(filepath.Join(dir, "missing"), 0); err != nil || got != nil {
+		t.Fatalf("Latest on missing dir = %v, %v", got, err)
+	}
+}
+
+func TestLatestComplete(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sampleState()
+	write := func(step, rank int) string {
+		st.Step = step
+		p, _, err := w.Write(st, rank)
+		if err != nil {
+			t.Fatalf("write step %d rank %d: %v", step, rank, err)
+		}
+		return p
+	}
+	// Step 10 complete on both ranks; step 20 only on rank 0 (the crash hit
+	// between rank writes).
+	write(10, 0)
+	write(10, 1)
+	write(20, 0)
+	step, ok, err := LatestComplete(dir, 2)
+	if err != nil || !ok || step != 10 {
+		t.Fatalf("LatestComplete = %d, %v, %v; want 10, true, nil", step, ok, err)
+	}
+	// Completing step 20 moves the resume point forward.
+	write(20, 1)
+	step, ok, err = LatestComplete(dir, 2)
+	if err != nil || !ok || step != 20 {
+		t.Fatalf("LatestComplete = %d, %v, %v; want 20, true, nil", step, ok, err)
+	}
+	// Corrupting one rank's newest file drops the set back to step 10.
+	p := filepath.Join(dir, fileName(20, 1))
+	raw, _ := os.ReadFile(p)
+	raw[len(raw)-1] ^= 0xFF
+	os.WriteFile(p, raw, 0o644)
+	step, ok, err = LatestComplete(dir, 2)
+	if err != nil || !ok || step != 10 {
+		t.Fatalf("LatestComplete after corruption = %d, %v, %v; want 10, true, nil", step, ok, err)
+	}
+	if _, ok, err := LatestComplete(t.TempDir(), 2); err != nil || ok {
+		t.Fatalf("LatestComplete on empty dir = %v, %v", ok, err)
+	}
+}

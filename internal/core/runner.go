@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/autograd"
+	"repro/internal/ckpt"
 	"repro/internal/mlog"
 	"repro/internal/models"
 )
@@ -48,6 +49,21 @@ type RunConfig struct {
 	// exposes its parameters (models with a Params method); otherwise
 	// FinalParams stays nil.
 	CaptureParams bool
+	// Checkpoint enables periodic training checkpoints (internal/ckpt)
+	// when Dir is non-empty. It requires a workload implementing
+	// ckpt.Stateful (CaptureTrainState/RestoreTrainState); other
+	// workloads run un-checkpointed.
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig drives the runner's periodic checkpointing.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every is the checkpoint cadence in epochs (default 1).
+	Every int
+	// Keep is the per-rank retention depth (<= 0 selects ckpt.DefaultKeep).
+	Keep int
 }
 
 // RunResult is the outcome of one timed training session.
@@ -89,6 +105,28 @@ type RunResult struct {
 //   - timing begins when training data is first touched and stops when the
 //     validation quality reaches the target.
 func Run(b Benchmark, cfg RunConfig) RunResult {
+	return run(b, cfg, nil)
+}
+
+// Resume continues a run from the newest valid checkpoint in
+// cfg.Checkpoint.Dir. With no checkpoint present it behaves exactly like
+// Run — callers restart crashed runs with Resume unconditionally. The
+// resumed trajectory is bit-identical to the uninterrupted run's: the
+// checkpoint carries parameters, optimizer momenta, loss-scale state, the
+// loader cursor, and auxiliary RNG positions, and the benchmark's workload
+// restores them all.
+func Resume(b Benchmark, cfg RunConfig) (RunResult, error) {
+	if cfg.Checkpoint.Dir == "" {
+		return RunResult{}, fmt.Errorf("core: Resume requires Checkpoint.Dir")
+	}
+	st, _, err := ckpt.Latest(cfg.Checkpoint.Dir, 0)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return run(b, cfg, st), nil
+}
+
+func run(b Benchmark, cfg RunConfig, resumed *models.TrainState) RunResult {
 	clock := cfg.Clock
 	if clock == nil {
 		clock = NewRealClock()
@@ -115,6 +153,22 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 	// --- Excluded up to cap: model creation / compilation (§3.2.1) ---
 	compileStart := clock.Now()
 	w := b.New(cfg.Seed)
+	startEpoch := 0
+	if resumed != nil {
+		// Restoring a checkpoint is part of (re)creating the model, inside
+		// the compile-excluded region; the timed region restarts fresh, the
+		// recovery accounting lives with the supervisor (KeyRecoveryWallMS).
+		s, ok := w.(ckpt.Stateful)
+		if !ok {
+			return RunResult{Benchmark: b.ID, Seed: cfg.Seed, Log: logger,
+				Err: fmt.Errorf("core: workload %T cannot restore a checkpoint", w)}
+		}
+		if err := s.RestoreTrainState(resumed); err != nil {
+			return RunResult{Benchmark: b.ID, Seed: cfg.Seed, Log: logger, Err: err}
+		}
+		startEpoch = resumed.Epoch
+		logger.Simple(ms(clock.Now()), mlog.KeyResumeFromStep, resumed.Step)
+	}
 	if cfg.ModelCreation != nil {
 		cfg.ModelCreation(clock)
 	}
@@ -144,7 +198,27 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 	}
 
 	res := RunResult{Benchmark: b.ID, Seed: cfg.Seed, ExcludedInit: excludedInit, ExcludedCompile: excludedCompile, Log: logger}
-	for epoch := 0; epoch < maxEpochs; epoch++ {
+
+	// Periodic checkpointing: only for workloads whose full training state
+	// round-trips (ckpt.Stateful), mirroring the CaptureParams capability
+	// pattern.
+	var ckptW *ckpt.Writer
+	ckptEvery := cfg.Checkpoint.Every
+	if ckptEvery <= 0 {
+		ckptEvery = 1
+	}
+	if cfg.Checkpoint.Dir != "" {
+		if _, ok := w.(ckpt.Stateful); ok {
+			cw, err := ckpt.NewWriter(cfg.Checkpoint.Dir, cfg.Checkpoint.Keep)
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			ckptW = cw
+		}
+	}
+
+	for epoch := startEpoch; epoch < maxEpochs; epoch++ {
 		logger.Log(mlog.Event{TimeMS: ms(clock.Now()), Key: mlog.KeyEpochStart, Epoch: epoch})
 		loss := w.TrainEpoch()
 		logger.Log(mlog.Event{TimeMS: ms(clock.Now()), Key: mlog.KeyEpochStop, Epoch: epoch, Value: loss})
@@ -156,6 +230,16 @@ func Run(b Benchmark, cfg RunConfig) RunResult {
 			if err := f.Err(); err != nil {
 				res.Err = err
 				break
+			}
+		}
+		if ckptW != nil && (epoch+1)%ckptEvery == 0 {
+			st := w.(ckpt.Stateful).CaptureTrainState()
+			if _, digest, err := ckptW.Write(st, 0); err != nil {
+				res.Err = err
+				break
+			} else {
+				logger.Simple(ms(clock.Now()), mlog.KeyCheckpointStep, st.Step)
+				logger.Simple(ms(clock.Now()), mlog.KeyCheckpointDigest, digest)
 			}
 		}
 		if (epoch+1)%evalEvery != 0 && epoch+1 < maxEpochs {

@@ -90,6 +90,46 @@ func (l *Loader) Next() (idx []int, newEpoch bool) {
 	return l.batch, newEpoch
 }
 
+// LoaderState is an exported snapshot of a loader's traversal position —
+// the current epoch permutation, the cursor within it, the epoch counter,
+// and the shuffling RNG's stream position. A checkpoint (internal/ckpt)
+// persists it so a resumed run draws exactly the batches the uninterrupted
+// run would have.
+type LoaderState struct {
+	Order []int
+	Pos   int
+	Epoch int
+	RNG   tensor.RNGState
+}
+
+// State captures the loader's traversal position. The returned Order is a
+// copy, decoupled from further Next calls.
+func (l *Loader) State() LoaderState {
+	return LoaderState{
+		Order: append([]int(nil), l.order...),
+		Pos:   l.pos,
+		Epoch: l.epoch,
+		RNG:   l.rng.State(),
+	}
+}
+
+// SetState restores a position captured by State. The loader's subsequent
+// batches — including every future epoch's reshuffle — are bit-identical
+// to the capturing loader's.
+func (l *Loader) SetState(st LoaderState) error {
+	if len(st.Order) != l.N {
+		return fmt.Errorf("data: loader state has %d order entries, loader has N=%d", len(st.Order), l.N)
+	}
+	if st.Pos < 0 || st.Pos > l.N {
+		return fmt.Errorf("data: loader state position %d outside [0, %d]", st.Pos, l.N)
+	}
+	l.order = append(l.order[:0], st.Order...)
+	l.pos = st.Pos
+	l.epoch = st.Epoch
+	l.rng.SetState(st.RNG)
+	return nil
+}
+
 // Shard splits a batch across data-parallel workers: worker w of k receives
 // the contiguous slice [w·len/k, (w+1)·len/k). All elements are assigned to
 // exactly one shard.

@@ -1,0 +1,99 @@
+package dist_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// TestDPResumeBitIdentity is the data-parallel resume contract: capture at
+// step t, serialize through the checkpoint format, restore into a freshly
+// built engine, and the continuation is bit-identical to the
+// uninterrupted run — losses and parameters.
+func TestDPResumeBitIdentity(t *testing.T) {
+	const (
+		workers     = 2
+		microshards = 8
+		batch       = 64
+		seed        = 11
+		stopAt      = 7
+		total       = 14
+	)
+	ref, _ := newNCFEngine(t, workers, microshards, batch, seed)
+	defer ref.Close()
+	for s := 0; s < stopAt; s++ {
+		ref.StepNext()
+	}
+	st := ref.CaptureTrainState()
+	if st.Step != stopAt {
+		t.Fatalf("captured step = %d, want %d", st.Step, stopAt)
+	}
+
+	// Round-trip through the serialized checkpoint: what lands on disk is
+	// what resumes.
+	var buf bytes.Buffer
+	if _, err := ckpt.Save(&buf, st); err != nil {
+		t.Fatalf("ckpt.Save: %v", err)
+	}
+	loaded, err := ckpt.Load(&buf)
+	if err != nil {
+		t.Fatalf("ckpt.Load: %v", err)
+	}
+
+	var refLosses []float64
+	for s := stopAt; s < total; s++ {
+		refLosses = append(refLosses, ref.StepNext())
+	}
+	refParams := flatValues(ref)
+
+	res, _ := newNCFEngine(t, workers, microshards, batch, seed)
+	defer res.Close()
+	if err := res.RestoreTrainState(loaded); err != nil {
+		t.Fatalf("RestoreTrainState: %v", err)
+	}
+	if res.Steps() != stopAt {
+		t.Fatalf("restored engine at step %d, want %d", res.Steps(), stopAt)
+	}
+	if !res.InSync() {
+		t.Fatal("restored replicas are not bit-identical")
+	}
+	for i, want := range refLosses {
+		if got := res.StepNext(); got != want {
+			t.Fatalf("resumed step %d loss = %v, reference %v", stopAt+i, got, want)
+		}
+	}
+	gotParams := flatValues(res)
+	for i := range refParams {
+		if gotParams[i] != refParams[i] {
+			t.Fatalf("param element %d = %g, reference %g (resume not bit-identical)", i, gotParams[i], refParams[i])
+		}
+	}
+}
+
+// TestDPRestoreValidation checks structural mismatches are rejected.
+func TestDPRestoreValidation(t *testing.T) {
+	eng, _ := newNCFEngine(t, 2, 8, 64, 3)
+	defer eng.Close()
+	eng.StepNext()
+	st := eng.CaptureTrainState()
+
+	noParams := *st
+	noParams.Params = nil
+	if err := eng.RestoreTrainState(&noParams); err == nil {
+		t.Error("accepted state without parameters")
+	}
+	noOpt := *st
+	noOpt.Opts = nil
+	if err := eng.RestoreTrainState(&noOpt); err == nil {
+		t.Error("accepted state without optimizer state")
+	}
+	noLoader := *st
+	noLoader.Loader = nil
+	if err := eng.RestoreTrainState(&noLoader); err == nil {
+		t.Error("accepted state without loader position")
+	}
+	if err := eng.RestoreTrainState(st); err != nil {
+		t.Errorf("rejected valid state: %v", err)
+	}
+}

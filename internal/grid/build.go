@@ -27,6 +27,11 @@ type Engine interface {
 	Params() []*autograd.Param
 	// FlatSize returns the local flattened gradient length in elements.
 	FlatSize() int
+	// CaptureTrainState snapshots the locally-hosted training state (the
+	// rank's cell in shard mode) for internal/ckpt serialization.
+	CaptureTrainState() *models.TrainState
+	// RestoreTrainState restores a captured state bit-identically.
+	RestoreTrainState(*models.TrainState) error
 	// Close tears the engine down (an injected Mesh is left open).
 	Close()
 }

@@ -47,5 +47,14 @@ func (d *Digest) Add(params []*autograd.Param) {
 // Steps returns the number of Add calls folded in.
 func (d *Digest) Steps() int { return d.n }
 
+// State exposes the accumulator (rolling hash, step count) so a worker can
+// checkpoint the digest alongside the engine state; SetState restores it.
+// A resumed worker that restores both the engine and the digest to the same
+// step continues the exact rolling hash of the uninterrupted run.
+func (d *Digest) State() (h uint64, n int) { return d.h, d.n }
+
+// SetState restores an accumulator captured by State.
+func (d *Digest) SetState(h uint64, n int) { d.h, d.n = h, n }
+
 // Sum renders the digest as a fixed-width hex string.
 func (d *Digest) Sum() string { return fmt.Sprintf("%016x", d.h) }

@@ -83,6 +83,29 @@ type Spec struct {
 	HangAfter int `json:"hang_after,omitempty"`
 	// HangRank is the rank HangAfter applies to.
 	HangRank int `json:"hang_rank,omitempty"`
+
+	// CkptDir, when set, makes every worker write a sealed per-rank
+	// training checkpoint (internal/ckpt) into it every CkptEvery steps.
+	// The per-rank files of one step jointly cover the whole grid state.
+	CkptDir string `json:"ckpt_dir,omitempty"`
+	// CkptEvery is the checkpoint cadence in optimizer steps (requires
+	// CkptDir; 0 disables periodic checkpoints).
+	CkptEvery int `json:"ckpt_every,omitempty"`
+	// Resume makes workers restore from the newest complete checkpoint set
+	// in CkptDir before stepping (a missing or empty directory degrades to
+	// a fresh run). The supervisor sets it on every respawned generation.
+	Resume bool `json:"resume,omitempty"`
+	// Gen is the restart generation, 0 for the first launch. The chaos
+	// plan is indexed by it: generation g crashes at Crash(g).
+	Gen int `json:"gen,omitempty"`
+	// ChaosSeed seeds the deterministic fault plan (internal/chaos) when
+	// ChaosCrashes is positive.
+	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
+	// ChaosCrashes is how many generations lose one worker to an injected
+	// hard crash (os.Exit mid-run, no report). Generations past the budget
+	// run clean, so a supervised run terminates after exactly ChaosCrashes
+	// restarts.
+	ChaosCrashes int `json:"chaos_crashes,omitempty"`
 }
 
 // normalized returns the spec with defaults applied.
@@ -124,6 +147,15 @@ func (s Spec) Validate() error {
 	}
 	if s.HangAfter > 0 && s.StragglerMS <= 0 {
 		return fmt.Errorf("grid: HangAfter needs StragglerMS > 0 — without a straggler bound the peers would block forever on the hung rank")
+	}
+	if s.CkptEvery > 0 && s.CkptDir == "" {
+		return fmt.Errorf("grid: CkptEvery %d without CkptDir", s.CkptEvery)
+	}
+	if s.Resume && s.CkptDir == "" {
+		return fmt.Errorf("grid: Resume without CkptDir")
+	}
+	if s.ChaosCrashes > 0 && s.CkptEvery <= 0 {
+		return fmt.Errorf("grid: ChaosCrashes %d without CkptEvery — a crashed generation could only restart from scratch", s.ChaosCrashes)
 	}
 	return nil
 }

@@ -8,9 +8,24 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/ckpt"
 	"repro/internal/clock"
 	"repro/internal/transport"
 )
+
+// Meta keys carrying the trajectory-digest accumulator inside a worker's
+// checkpoint, so a resumed generation continues the exact rolling hash of
+// the uninterrupted run.
+const (
+	metaDigestHash  = "digest_h"
+	metaDigestSteps = "digest_n"
+)
+
+// chaosCrashExit is the worker's exit code for an injected crash — a hard
+// os.Exit mid-step-loop, no report, indistinguishable from a real death as
+// far as the rendezvous is concerned.
+const chaosCrashExit = 3
 
 // Worker reports whether this process was launched as a grid worker
 // (EnvCoord set by Start). cmd/mlperf-worker and test binaries branch on
@@ -85,18 +100,54 @@ func WorkerMain() error {
 	}
 	defer eng.Close()
 
-	// Everyone finishes building before anyone steps: a fast worker's first
-	// Send must not race a slow worker's engine construction.
+	var ckptW *ckpt.Writer
+	if spec.CkptDir != "" {
+		if ckptW, err = ckpt.NewWriter(spec.CkptDir, 0); err != nil {
+			sess.Report(transport.WorkerResult{Rank: sess.Rank, Err: err.Error()})
+			return err
+		}
+	}
+	dig := NewDigest()
+	if spec.Resume {
+		// Every rank resolves the SAME newest complete step (the files are
+		// on a shared filesystem and LatestComplete is deterministic), so
+		// the grid resumes in lockstep or not at all.
+		if err := resumeWorker(spec, eng, dig, sess.Rank); err != nil {
+			sess.Report(transport.WorkerResult{Rank: sess.Rank, Err: err.Error()})
+			return err
+		}
+	}
+
+	// Everyone finishes building (and restoring) before anyone steps: a
+	// fast worker's first Send must not race a slow worker's construction.
 	if err := sess.Barrier(); err != nil {
 		sess.Report(transport.WorkerResult{Rank: sess.Rank, Err: err.Error()})
 		return err
 	}
 
+	// The generation's scheduled chaos crash, if this rank drew it.
+	crashAt := -1
+	if spec.ChaosCrashes > 0 {
+		plan := chaos.NewPlan(spec.ChaosSeed, chaos.PlanConfig{
+			World: spec.World(), Steps: spec.Steps, Crashes: spec.ChaosCrashes,
+		})
+		if cp, ok := plan.Crash(spec.Gen); ok && cp.Rank == sess.Rank {
+			crashAt = cp.Step
+		}
+	}
+
 	clk := clock.NewReal()
-	dig := NewDigest()
 	var loss float64
+	startSteps := eng.Steps()
 	start := clk.Now()
-	for i := 0; i < spec.Steps; i++ {
+	for eng.Steps() < spec.Steps {
+		i := eng.Steps()
+		if crashAt >= 0 && i >= crashAt {
+			// Injected hard crash: no report, no teardown. The coordinator
+			// notices the dropped control connection or missed heartbeats
+			// and the supervisor respawns the generation.
+			os.Exit(chaosCrashExit)
+		}
 		if spec.HangAfter > 0 && sess.Rank == spec.HangRank && i >= spec.HangAfter {
 			// Failure injection: stop stepping but keep heartbeating — a
 			// live-but-stuck straggler only the Recv straggler bound catches.
@@ -108,8 +159,18 @@ func WorkerMain() error {
 			return err
 		}
 		dig.Add(eng.Params())
+		if ckptW != nil && spec.CkptEvery > 0 && eng.Steps()%spec.CkptEvery == 0 {
+			if err := checkpointWorker(ckptW, eng, dig, sess.Rank); err != nil {
+				sess.Report(transport.WorkerResult{Rank: sess.Rank, Steps: eng.Steps(), Err: err.Error()})
+				return err
+			}
+		}
 	}
 	elapsed := clk.Now() - start
+	stepsRun := eng.Steps() - startSteps
+	if stepsRun < 1 {
+		stepsRun = 1
+	}
 
 	// Drain before teardown: closing the mesh drops queued frames, so every
 	// worker must pass this barrier (all sends consumed) before any Close.
@@ -123,7 +184,54 @@ func WorkerMain() error {
 		Steps:       eng.Steps(),
 		Digest:      dig.Sum(),
 		Loss:        loss,
-		StepSeconds: elapsed.Seconds() / float64(spec.Steps),
+		StepSeconds: elapsed.Seconds() / float64(stepsRun),
 		FlatBytes:   eng.FlatSize() * 8,
 	})
+}
+
+// checkpointWorker writes the rank's sealed checkpoint for the engine's
+// current step, with the trajectory-digest accumulator riding along in the
+// meta section.
+func checkpointWorker(w *ckpt.Writer, eng Engine, dig *Digest, rank int) error {
+	st := eng.CaptureTrainState()
+	h, n := dig.State()
+	st.SetMeta(metaDigestHash, fmt.Sprintf("%016x", h))
+	st.SetMeta(metaDigestSteps, strconv.Itoa(n))
+	_, _, err := w.Write(st, rank)
+	return err
+}
+
+// resumeWorker restores the engine and digest from the newest checkpoint
+// step for which EVERY rank has a valid sealed file. A directory with no
+// complete set leaves the fresh engine untouched.
+func resumeWorker(spec Spec, eng Engine, dig *Digest, rank int) error {
+	step, ok, err := ckpt.LatestComplete(spec.CkptDir, spec.World())
+	if err != nil {
+		return fmt.Errorf("grid: resume scan %s: %w", spec.CkptDir, err)
+	}
+	if !ok {
+		return nil
+	}
+	st, err := ckpt.LoadAt(spec.CkptDir, step, rank)
+	if err != nil {
+		return fmt.Errorf("grid: resume rank %d at step %d: %w", rank, step, err)
+	}
+	if err := eng.RestoreTrainState(st); err != nil {
+		return fmt.Errorf("grid: resume rank %d at step %d: %w", rank, step, err)
+	}
+	hs, ok1 := st.MetaValue(metaDigestHash)
+	ns, ok2 := st.MetaValue(metaDigestSteps)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("grid: checkpoint step %d rank %d carries no digest accumulator", step, rank)
+	}
+	var h uint64
+	if _, err := fmt.Sscanf(hs, "%016x", &h); err != nil {
+		return fmt.Errorf("grid: checkpoint digest meta %q: %w", hs, err)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		return fmt.Errorf("grid: checkpoint digest meta %q: %w", ns, err)
+	}
+	dig.SetState(h, n)
+	return nil
 }

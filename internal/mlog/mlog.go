@@ -57,6 +57,16 @@ const (
 	KeyQueriesRejected = "queries_rejected"
 	KeySLOVerdict      = "slo_verdict"
 	KeySnapshotDigest  = "snapshot_digest"
+	// Fault-tolerance keys (internal/ckpt, internal/grid): the step a
+	// checkpoint sealed and its content digest, the step a resumed run
+	// restarted from, the supervisor's cumulative worker-restart count,
+	// and the wall-clock cost of one detect→respawn→resume recovery in
+	// fractional milliseconds.
+	KeyCheckpointStep   = "checkpoint_step"
+	KeyCheckpointDigest = "checkpoint_digest"
+	KeyResumeFromStep   = "resume_from_step"
+	KeyWorkerRestarts   = "worker_restarts"
+	KeyRecoveryWallMS   = "recovery_wall_ms"
 )
 
 // Event is one structured log record.

@@ -1,6 +1,8 @@
 package models
 
 import (
+	"fmt"
+
 	"repro/internal/autograd"
 	"repro/internal/data"
 	"repro/internal/datasets"
@@ -140,6 +142,74 @@ func (w *Recommendation) TrainEpoch() float64 {
 	w.epoch++
 	return totalLoss / float64(n)
 }
+
+// ncfSampleRNG labels the negative-sampling stream in checkpoints.
+const ncfSampleRNG = "ncf_negative_sampling"
+
+// CaptureTrainState snapshots the full mid-run training state: parameters,
+// Adam moments, the loss-scale position (mixed regimes), the loader
+// cursor, the negative-sampling stream, and the step/epoch counters. A run
+// restored from the result continues bit-identically to this one.
+func (w *Recommendation) CaptureTrainState() *TrainState {
+	st := &TrainState{
+		Step:   w.steps,
+		Epoch:  w.epoch,
+		Params: TakeSnapshot(w.Name(), w.params),
+		Loader: ptr(w.loader.State()),
+		RNGs:   []RNGEntry{{Label: ncfSampleRNG, State: w.rng.State()}},
+	}
+	if o, ok := w.Opt.(opt.Stateful); ok {
+		st.Opts = []opt.State{o.CaptureState()}
+	}
+	if w.mp != nil {
+		st.MP = ptr(w.mp.State())
+	}
+	return st
+}
+
+// RestoreTrainState installs a state captured by CaptureTrainState on a
+// freshly built workload of the same seed and hyperparameters.
+func (w *Recommendation) RestoreTrainState(st *TrainState) error {
+	if st.Params == nil {
+		return fmt.Errorf("models: train state has no parameter snapshot")
+	}
+	if err := st.Params.Restore(w.params); err != nil {
+		return err
+	}
+	if len(st.Opts) != 1 {
+		return fmt.Errorf("models: train state has %d optimizer states, recommendation wants 1", len(st.Opts))
+	}
+	o, ok := w.Opt.(opt.Stateful)
+	if !ok {
+		return fmt.Errorf("models: recommendation optimizer %T cannot restore state", w.Opt)
+	}
+	if err := o.RestoreState(st.Opts[0]); err != nil {
+		return err
+	}
+	if (st.MP != nil) != (w.mp != nil) {
+		return fmt.Errorf("models: train state mixed-precision presence %v != workload %v", st.MP != nil, w.mp != nil)
+	}
+	if st.MP != nil {
+		w.mp.SetState(*st.MP)
+	}
+	if st.Loader == nil {
+		return fmt.Errorf("models: train state has no loader position")
+	}
+	if err := w.loader.SetState(*st.Loader); err != nil {
+		return err
+	}
+	rs, err := st.rngNamed(ncfSampleRNG)
+	if err != nil {
+		return err
+	}
+	w.rng.SetState(rs)
+	w.steps = st.Step
+	w.epoch = st.Epoch
+	return nil
+}
+
+// ptr boxes a value (checkpoint-state convenience).
+func ptr[T any](v T) *T { return &v }
 
 // Evaluate implements Workload: leave-one-out HR@10. The evaluation
 // negative lists are drawn from a fixed seed so the metric is comparable

@@ -23,6 +23,12 @@ import (
 // snapMagic identifies snapshot files ("MLPSNAP" + format version 1).
 const snapMagic = "MLPSNAP1"
 
+// snapAllocChunk caps the up-front allocation for a declared value count:
+// the data slice starts at most this many elements (512 KiB) and grows
+// only as bytes actually arrive from the stream, so a corrupt count field
+// cannot demand memory the input does not back.
+const snapAllocChunk = 1 << 16
+
 // FNV-1a constants (64-bit), as in internal/grid's trajectory digest.
 const (
 	fnvOffset uint64 = 14695981039346656037
@@ -229,11 +235,21 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 			br.err = fmt.Errorf("parameter %q has %d values", p.Name, cnt)
 		}
 		if br.err == nil {
-			p.Data = make([]float64, cnt)
-			for j := range p.Data {
+			// The count arrives from the (not yet digest-verified) stream, so
+			// allocation must be bounded by the bytes that actually follow —
+			// a corrupt header claiming 2^28 values on a truncated stream must
+			// fail at the read, not allocate gigabytes up front. Grow in
+			// bounded chunks as the values arrive.
+			p.Data = make([]float64, 0, min(int(cnt), snapAllocChunk))
+			for j := 0; br.err == nil && j < int(cnt); j++ {
 				var bits uint64
 				read(&bits)
-				p.Data[j] = math.Float64frombits(bits)
+				if br.err == nil {
+					p.Data = append(p.Data, math.Float64frombits(bits))
+				}
+			}
+			if br.err != nil {
+				br.err = fmt.Errorf("parameter %q truncated at value %d of %d: %w", p.Name, len(p.Data), cnt, br.err)
 			}
 		}
 		s.Params = append(s.Params, p)

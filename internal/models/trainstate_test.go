@@ -1,0 +1,138 @@
+package models
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/precision"
+	"repro/internal/tensor"
+)
+
+// paramsDigest folds current parameter values through FNV-1a.
+func paramsDigest(w *Recommendation) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range w.params {
+		for _, v := range p.Value.Data {
+			bits := math.Float64bits(v)
+			for sh := 0; sh < 64; sh += 8 {
+				h ^= uint64(byte(bits >> sh))
+				h *= 1099511628211
+			}
+		}
+	}
+	return h
+}
+
+// TestRecommendationResumeBitIdentity trains a reference run, captures the
+// state mid-run, restores into a freshly built workload, and checks the
+// resumed trajectory is bit-identical for the remaining epochs — for both
+// the f64 reference regime and the mixed bf16 regime (whose loss-scale
+// position rides in the checkpoint).
+func TestRecommendationResumeBitIdentity(t *testing.T) {
+	regimes := []struct {
+		name string
+		num  precision.Numerics
+	}{
+		{"f64", precision.Numerics{}},
+		{"bf16_mixed", precision.NumericsFor(tensor.BFloat16)},
+	}
+	for _, rg := range regimes {
+		t.Run(rg.name, func(t *testing.T) {
+			ds := datasets.GenerateRec(datasets.DefaultRecConfig())
+			hp := DefaultNCFHParams()
+			hp.Numerics = rg.num
+
+			ref := NewRecommendation(ds, hp, 42)
+			ref.TrainEpoch()
+			ref.TrainEpoch()
+			st := ref.CaptureTrainState()
+			if st.Step != ref.Steps() || st.Epoch != 2 {
+				t.Fatalf("captured step/epoch = %d/%d, want %d/2", st.Step, st.Epoch, ref.Steps())
+			}
+			refLoss3 := ref.TrainEpoch()
+			refLoss4 := ref.TrainEpoch()
+
+			res := NewRecommendation(ds, hp, 42)
+			if err := res.RestoreTrainState(st); err != nil {
+				t.Fatalf("RestoreTrainState: %v", err)
+			}
+			if res.Steps() != st.Step || res.Epoch() != st.Epoch {
+				t.Fatalf("restored step/epoch = %d/%d, want %d/%d", res.Steps(), res.Epoch(), st.Step, st.Epoch)
+			}
+			if l := res.TrainEpoch(); l != refLoss3 {
+				t.Fatalf("epoch 3 loss after resume = %v, reference %v", l, refLoss3)
+			}
+			if l := res.TrainEpoch(); l != refLoss4 {
+				t.Fatalf("epoch 4 loss after resume = %v, reference %v", l, refLoss4)
+			}
+			if paramsDigest(res) != paramsDigest(ref) {
+				t.Fatal("resumed parameters diverged from reference")
+			}
+		})
+	}
+}
+
+// TestRestoreTrainStateValidation checks structural mismatches fail loudly.
+func TestRestoreTrainStateValidation(t *testing.T) {
+	ds := datasets.GenerateRec(datasets.DefaultRecConfig())
+	w := NewRecommendation(ds, DefaultNCFHParams(), 42)
+	w.TrainEpoch()
+	st := w.CaptureTrainState()
+
+	if err := w.RestoreTrainState(&TrainState{}); err == nil {
+		t.Error("accepted state without parameter snapshot")
+	}
+	noLoader := *st
+	noLoader.Loader = nil
+	if err := w.RestoreTrainState(&noLoader); err == nil {
+		t.Error("accepted state without loader position")
+	}
+	noRNG := *st
+	noRNG.RNGs = nil
+	if err := w.RestoreTrainState(&noRNG); err == nil {
+		t.Error("accepted state without the negative-sampling stream")
+	}
+	mixed := *st
+	mixed.MP = &precision.MPState{Scale: 1}
+	if err := w.RestoreTrainState(&mixed); err == nil {
+		t.Error("accepted mixed-precision state into a full-precision workload")
+	}
+}
+
+// TestLoadSnapshotCorruptCountBounded is the regression test for the
+// unbounded-allocation bug: a corrupt header claiming 2^27 values on a
+// near-empty stream must fail at the read without allocating the gigabyte
+// the count demands.
+func TestLoadSnapshotCorruptCountBounded(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("MLPSNAP1")
+	put := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	put(uint32(3)) // benchmark name
+	buf.WriteString("rec")
+	put(uint32(1)) // one parameter
+	put(uint32(1)) // name
+	buf.WriteString("w")
+	put(uint32(1))       // one dim
+	put(uint32(1 << 27)) // dim value (irrelevant)
+	put(uint32(1 << 27)) // value count: claims 1 GiB of float64s...
+	for i := 0; i < 10; i++ {
+		put(uint64(i)) // ...backed by 80 bytes
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("LoadSnapshot accepted truncated snapshot with corrupt count")
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 32<<20 {
+		t.Fatalf("LoadSnapshot allocated %d bytes for a %d-byte input (count field drove allocation)",
+			alloc, buf.Len())
+	}
+}

@@ -1,0 +1,128 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// stateTestParams builds a small two-parameter model with a deterministic
+// gradient pattern per step.
+func stateTestParams(rng *tensor.RNG) []*autograd.Param {
+	mk := func(name string, n int) *autograd.Param {
+		p := &autograd.Param{Name: name, Value: tensor.New(n), Grad: tensor.New(n)}
+		for i := range p.Value.Data {
+			p.Value.Data[i] = rng.Norm() * 0.1
+		}
+		return p
+	}
+	return []*autograd.Param{mk("w", 6), mk("b", 3)}
+}
+
+func fillGrads(params []*autograd.Param, step int) {
+	for pi, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = math.Sin(float64(step*31+pi*7+i)) * 0.01
+		}
+	}
+}
+
+// TestStateRoundTrip steps an optimizer, captures mid-run, restores into a
+// fresh optimizer over a fresh copy of the parameters, and checks the two
+// trajectories stay bit-identical.
+func TestStateRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(params []*autograd.Param) Stateful
+	}{
+		{"sgd_torch", func(p []*autograd.Param) Stateful { return NewSGD(p, 0.1, 0.9, 1e-4, TorchStyle) }},
+		{"sgd_caffe", func(p []*autograd.Param) Stateful { return NewSGD(p, 0.1, 0.9, 1e-4, CaffeStyle) }},
+		{"adam", func(p []*autograd.Param) Stateful { return NewAdam(p, 0.002, 0.9, 0.999, 1e-8, 0) }},
+		{"lars", func(p []*autograd.Param) Stateful { return NewLARS(p, 0.1, 0.9, 5e-5, 0.001) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := stateTestParams(tensor.NewRNG(7))
+			o := tc.mk(ref)
+			for s := 0; s < 5; s++ {
+				fillGrads(ref, s)
+				o.Step()
+			}
+			st := o.CaptureState()
+
+			// Fresh model, overwrite values with the captured point, restore
+			// optimizer state, and continue both trajectories.
+			fresh := stateTestParams(tensor.NewRNG(7))
+			for i, p := range fresh {
+				copy(p.Value.Data, ref[i].Value.Data)
+			}
+			o2 := tc.mk(fresh)
+			if err := o2.RestoreState(st); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+			for s := 5; s < 10; s++ {
+				fillGrads(ref, s)
+				o.Step()
+				fillGrads(fresh, s)
+				o2.Step()
+			}
+			for i := range ref {
+				for j := range ref[i].Value.Data {
+					if ref[i].Value.Data[j] != fresh[i].Value.Data[j] {
+						t.Fatalf("param %d value %d diverged: %v vs %v",
+							i, j, ref[i].Value.Data[j], fresh[i].Value.Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStateCaptureBeforeFirstStep checks lazily-unallocated slots
+// materialize as explicit zero vectors and restore cleanly.
+func TestStateCaptureBeforeFirstStep(t *testing.T) {
+	params := stateTestParams(tensor.NewRNG(3))
+	o := NewSGD(params, 0.1, 0.9, 0, TorchStyle)
+	st := o.CaptureState()
+	if len(st.Slots) != len(params) {
+		t.Fatalf("got %d slots, want %d", len(st.Slots), len(params))
+	}
+	for i, s := range st.Slots {
+		if len(s) != params[i].Value.Size() {
+			t.Fatalf("slot %d has %d values, want %d", i, len(s), params[i].Value.Size())
+		}
+		for _, v := range s {
+			if v != 0 {
+				t.Fatalf("pre-step slot %d is nonzero", i)
+			}
+		}
+	}
+	if err := o.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+}
+
+// TestStateRestoreValidation checks kind and shape mismatches are rejected.
+func TestStateRestoreValidation(t *testing.T) {
+	params := stateTestParams(tensor.NewRNG(3))
+	sgd := NewSGD(params, 0.1, 0.9, 0, TorchStyle)
+	adam := NewAdam(params, 0.002, 0.9, 0.999, 1e-8, 0)
+	if err := sgd.RestoreState(adam.CaptureState()); err == nil {
+		t.Error("SGD accepted adam state")
+	}
+	if err := adam.RestoreState(sgd.CaptureState()); err == nil {
+		t.Error("Adam accepted sgd state")
+	}
+	bad := sgd.CaptureState()
+	bad.Slots[0] = bad.Slots[0][:1]
+	if err := sgd.RestoreState(bad); err == nil {
+		t.Error("SGD accepted slot with wrong length")
+	}
+	short := sgd.CaptureState()
+	short.Slots = short.Slots[:1]
+	if err := sgd.RestoreState(short); err == nil {
+		t.Error("SGD accepted state with missing slots")
+	}
+}

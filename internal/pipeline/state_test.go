@@ -1,0 +1,97 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// TestPPResumeBitIdentity is the pipeline-parallel resume contract:
+// capture a hybrid DP×PP engine at step t (worker-0 stage gather),
+// serialize through the checkpoint format, restore into a freshly built
+// engine, and the continuation is bit-identical to the uninterrupted run.
+func TestPPResumeBitIdentity(t *testing.T) {
+	const (
+		stages       = 2
+		workers      = 2
+		microbatches = 4
+		batch        = 16
+		seed         = 5
+		stopAt       = 4
+		total        = 8
+	)
+	ref, refReps := newImagePipeline(t, stages, workers, microbatches, batch, "", seed)
+	defer ref.Close()
+	_ = refReps
+	for s := 0; s < stopAt; s++ {
+		ref.StepNext()
+	}
+	st := ref.CaptureTrainState()
+	if st.Step != stopAt {
+		t.Fatalf("captured step = %d, want %d", st.Step, stopAt)
+	}
+	if len(st.Opts) != stages {
+		t.Fatalf("captured %d optimizer states, want one per stage (%d)", len(st.Opts), stages)
+	}
+
+	var buf bytes.Buffer
+	if _, err := ckpt.Save(&buf, st); err != nil {
+		t.Fatalf("ckpt.Save: %v", err)
+	}
+	loaded, err := ckpt.Load(&buf)
+	if err != nil {
+		t.Fatalf("ckpt.Load: %v", err)
+	}
+
+	var refLosses []float64
+	for s := stopAt; s < total; s++ {
+		refLosses = append(refLosses, ref.StepNext())
+	}
+	refParams := flatParamValues(ref.Params())
+
+	res, _ := newImagePipeline(t, stages, workers, microbatches, batch, "", seed)
+	defer res.Close()
+	if err := res.RestoreTrainState(loaded); err != nil {
+		t.Fatalf("RestoreTrainState: %v", err)
+	}
+	if res.Steps() != stopAt {
+		t.Fatalf("restored engine at step %d, want %d", res.Steps(), stopAt)
+	}
+	if !res.InSync() {
+		t.Fatal("restored stage replicas are not bit-identical across workers")
+	}
+	for i, want := range refLosses {
+		if got := res.StepNext(); got != want {
+			t.Fatalf("resumed step %d loss = %v, reference %v", stopAt+i, got, want)
+		}
+	}
+	gotParams := flatParamValues(res.Params())
+	for i := range refParams {
+		if gotParams[i] != refParams[i] {
+			t.Fatalf("param element %d = %g, reference %g (resume not bit-identical)", i, gotParams[i], refParams[i])
+		}
+	}
+}
+
+// TestPPRestoreValidation checks structural mismatches are rejected.
+func TestPPRestoreValidation(t *testing.T) {
+	eng, _ := newImagePipeline(t, 2, 1, 4, 16, "", 3)
+	defer eng.Close()
+	eng.StepNext()
+	st := eng.CaptureTrainState()
+
+	noParams := *st
+	noParams.Params = nil
+	if err := eng.RestoreTrainState(&noParams); err == nil {
+		t.Error("accepted state without parameters")
+	}
+	shortOpts := *st
+	shortOpts.Opts = st.Opts[:1]
+	if err := eng.RestoreTrainState(&shortOpts); err == nil {
+		t.Error("accepted state with missing stage optimizer states")
+	}
+	if err := eng.RestoreTrainState(st); err != nil {
+		t.Errorf("rejected valid state: %v", err)
+	}
+}

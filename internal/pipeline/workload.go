@@ -1,5 +1,10 @@
 package pipeline
 
+import (
+	"repro/internal/autograd"
+	"repro/internal/models"
+)
+
 // Workload adapts an Engine to the models.Workload interface (structurally
 // — no models import is needed), so pipeline-parallel and hybrid DP×PP
 // training plug into core.Run/core.RunSet unchanged: the harness drives
@@ -45,3 +50,14 @@ func (w *Workload) Err() error { return w.eng.Err() }
 // buffers to the arena. The measurement harness (core.Run) calls it when a
 // run ends.
 func (w *Workload) Close() { w.eng.Close() }
+
+// CaptureTrainState implements ckpt.Stateful by delegating to the engine.
+func (w *Workload) CaptureTrainState() *models.TrainState { return w.eng.CaptureTrainState() }
+
+// RestoreTrainState implements ckpt.Stateful by delegating to the engine.
+func (w *Workload) RestoreTrainState(st *models.TrainState) error { return w.eng.RestoreTrainState(st) }
+
+// Params exposes the engine's representative parameter list (replica 0 /
+// worker 0's stage gather), so core.Run can capture final-parameter
+// snapshots of engine-backed runs.
+func (w *Workload) Params() []*autograd.Param { return w.eng.Params() }

@@ -129,6 +129,44 @@ func (mp *MP) Stats() MPStats {
 	return s
 }
 
+// MPState is an exported snapshot of the trainer's dynamic-loss-scaling
+// position: the current scale, the consecutive-good-step counter that
+// gates growth, and the cumulative statistics. A checkpoint
+// (internal/ckpt) persists it so a resumed run makes exactly the
+// skip/backoff/growth decisions the uninterrupted run would have.
+type MPState struct {
+	Scale    float64
+	Good     int
+	Steps    uint64
+	Skipped  uint64
+	Growths  uint64
+	Backoffs uint64
+}
+
+// State captures the trainer's loss-scaling position.
+func (mp *MP) State() MPState {
+	return MPState{
+		Scale:    mp.scale,
+		Good:     mp.good,
+		Steps:    mp.stats.Steps,
+		Skipped:  mp.stats.Skipped,
+		Growths:  mp.stats.Growths,
+		Backoffs: mp.stats.Backoffs,
+	}
+}
+
+// SetState restores a position captured by State. The master-weight
+// snapshot needs no restoring: BeginStep rebuilds it from the live
+// parameters at the top of every step.
+func (mp *MP) SetState(st MPState) {
+	mp.scale = st.Scale
+	mp.good = st.Good
+	mp.stats.Steps = st.Steps
+	mp.stats.Skipped = st.Skipped
+	mp.stats.Growths = st.Growths
+	mp.stats.Backoffs = st.Backoffs
+}
+
 // BeginStep snapshots the float64 master weights and rounds the live
 // parameter values to the compute format, so the forward/backward pass
 // runs against reduced-precision weights. Must be paired with Apply.

@@ -16,6 +16,30 @@ type RNG struct {
 	hasSpare bool
 }
 
+// RNGState is an exported snapshot of an RNG's position in its stream —
+// what a training checkpoint (internal/ckpt) persists so a resumed run
+// continues drawing exactly the values the uninterrupted run would have.
+type RNGState struct {
+	State    uint64
+	Inc      uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State captures the generator's current stream position.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, Inc: r.inc, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState restores a position captured by State. The next draws are
+// bit-identical to what the captured generator would have produced.
+func (r *RNG) SetState(st RNGState) {
+	r.state = st.State
+	r.inc = st.Inc
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+}
+
 // splitmix64 advances a seed-expansion state and returns the next value.
 // It is used to initialize PCG state from a single user seed.
 func splitmix64(x *uint64) uint64 {

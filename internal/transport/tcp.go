@@ -34,6 +34,12 @@ type TCPOptions struct {
 	// rejected at header time (default 1 GiB, comfortably above the
 	// largest gradient chunk in this repo).
 	MaxFrame int
+	// WrapConn, when non-nil, wraps every established peer connection
+	// (after the hello exchange identifies the peer). It exists for fault
+	// injection — internal/chaos wraps connections to corrupt, drop, or
+	// delay wire bytes — and must be deterministic for the run to stay
+	// reproducible.
+	WrapConn func(peer int, c net.Conn) net.Conn
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -206,16 +212,24 @@ func (m *TCPMesh) acceptPeers(expect int) error {
 			conn.Close()
 			return err
 		}
-		m.conns[peer] = &tcpPeer{c: conn}
+		m.conns[peer] = &tcpPeer{c: m.wrap(peer, conn)}
 	}
 	return nil
+}
+
+// wrap applies the WrapConn fault-injection hook, if configured.
+func (m *TCPMesh) wrap(peer int, c net.Conn) net.Conn {
+	if m.opts.WrapConn != nil {
+		return m.opts.WrapConn(peer, c)
+	}
+	return c
 }
 
 // dialPeers connects to every higher rank, retrying refused dials with
 // exponential backoff (peers' listeners race ours during rendezvous).
 func (m *TCPMesh) dialPeers(addrs []string) error {
 	for p := m.rank + 1; p < m.world; p++ {
-		conn, err := dialRetry(addrs[p], m.opts)
+		conn, err := dialRetry(addrs[p], m.rank, m.opts)
 		if err != nil {
 			return &PeerError{Rank: p, Op: "dial", Err: err}
 		}
@@ -226,20 +240,66 @@ func (m *TCPMesh) dialPeers(addrs []string) error {
 			conn.Close()
 			return &PeerError{Rank: p, Op: "dial", Err: err}
 		}
+		pc.c = m.wrap(p, conn)
 		m.conns[p] = pc
 	}
 	return nil
 }
 
-func dialRetry(addr string, opts TCPOptions) (net.Conn, error) {
+// dialSchedule precomputes the retry sleeps for one peer dial: exponential
+// backoff doubling from RetryBackoff up to 32x, plus a deterministic
+// per-(addr, rank, attempt) jitter of up to a quarter backoff so a whole
+// grid restarting at once (the supervisor's respawn path) does not hammer
+// a recovering listener in lockstep. The schedule is truncated so the
+// TOTAL sleep stays within DialTimeout — the per-attempt net.DialTimeout
+// bound alone would otherwise let the retry loop hold the rendezvous for
+// DialRetries x DialTimeout. len(schedule)+1 is the attempt budget.
+func dialSchedule(addr string, rank int, opts TCPOptions) []time.Duration {
+	var sched []time.Duration
+	var total time.Duration
 	backoff := opts.RetryBackoff
+	for attempt := 1; attempt <= opts.DialRetries; attempt++ {
+		d := backoff + dialJitter(addr, rank, attempt, backoff/4)
+		if total+d > opts.DialTimeout {
+			break
+		}
+		sched = append(sched, d)
+		total += d
+		if backoff < 32*opts.RetryBackoff {
+			backoff *= 2
+		}
+	}
+	return sched
+}
+
+// dialJitter derives a deterministic jitter in [0, max) from
+// (addr, rank, attempt) via FNV-1a — no global randomness (the repo's
+// determinism discipline), yet distinct ranks desynchronize.
+func dialJitter(addr string, rank, attempt int, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(addr); i++ {
+		mix(addr[i])
+	}
+	mix(byte(rank))
+	mix(byte(rank >> 8))
+	mix(byte(attempt))
+	mix(byte(attempt >> 8))
+	return time.Duration(h % uint64(max))
+}
+
+func dialRetry(addr string, rank int, opts TCPOptions) (net.Conn, error) {
+	sched := dialSchedule(addr, rank, opts)
 	var err error
-	for attempt := 0; attempt <= opts.DialRetries; attempt++ {
+	for attempt := 0; attempt <= len(sched); attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			if backoff < 32*opts.RetryBackoff {
-				backoff *= 2
-			}
+			time.Sleep(sched[attempt-1])
 		}
 		var conn net.Conn
 		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
@@ -247,7 +307,7 @@ func dialRetry(addr string, opts TCPOptions) (net.Conn, error) {
 			return conn, nil
 		}
 	}
-	return nil, fmt.Errorf("dial %s after %d retries: %w", addr, opts.DialRetries, err)
+	return nil, fmt.Errorf("dial %s after %d retries: %w", addr, len(sched), err)
 }
 
 func writeDeadlined(c net.Conn, frame []byte, timeout time.Duration) error {
